@@ -1,0 +1,80 @@
+#include "src/core/analysis.hpp"
+
+#include <cassert>
+
+#include "src/core/block.hpp"
+#include "src/util/bits.hpp"
+
+namespace mhhea::core {
+
+namespace {
+
+/// Apply f(range, probability) for every scramble-field value of this pair.
+template <typename F>
+void for_each_range(const KeyPair& pair, const BlockParams& params, F&& f) {
+  const int d = pair.span();
+  const int field_bits = d + 1;
+  const std::uint64_t n_fields = std::uint64_t{1} << field_bits;
+  const double p = 1.0 / static_cast<double>(n_fields);
+  const int h = params.half();
+  for (std::uint64_t field = 0; field < n_fields; ++field) {
+    // Rebuild a vector whose scramble window holds `field`; other bits 0.
+    const std::uint64_t v = field << (pair.lo() + h);
+    const ScrambledRange r = scramble_range(v, pair, params);
+    f(r, p);
+  }
+}
+
+}  // namespace
+
+double expected_bits_per_block(const KeyPair& pair, const BlockParams& params) {
+  double e = 0.0;
+  for_each_range(pair, params, [&](const ScrambledRange& r, double p) {
+    e += p * static_cast<double>(r.width());
+  });
+  return e;
+}
+
+double expected_bits_per_block(const Key& key, const BlockParams& params) {
+  double e = 0.0;
+  for (const auto& p : key.pairs()) e += expected_bits_per_block(p, params);
+  return e / static_cast<double>(key.size());
+}
+
+double expected_expansion(const Key& key, const BlockParams& params) {
+  return static_cast<double>(params.vector_bits) / expected_bits_per_block(key, params);
+}
+
+std::vector<double> location_replacement_probability(const KeyPair& pair,
+                                                     const BlockParams& params) {
+  std::vector<double> prob(static_cast<std::size_t>(params.half()), 0.0);
+  for_each_range(pair, params, [&](const ScrambledRange& r, double p) {
+    for (int j = r.kn1; j <= r.kn2; ++j) prob[static_cast<std::size_t>(j)] += p;
+  });
+  return prob;
+}
+
+std::vector<double> location_replacement_probability(const Key& key,
+                                                     const BlockParams& params) {
+  std::vector<double> prob(static_cast<std::size_t>(params.half()), 0.0);
+  for (const auto& pair : key.pairs()) {
+    const auto pp = location_replacement_probability(pair, params);
+    for (std::size_t j = 0; j < prob.size(); ++j) prob[j] += pp[j];
+  }
+  for (auto& v : prob) v /= static_cast<double>(key.size());
+  return prob;
+}
+
+double expected_bits_per_block_random_key(const BlockParams& params) {
+  const int h = params.half();
+  double e = 0.0;
+  for (int a = 0; a < h; ++a) {
+    for (int b = 0; b < h; ++b) {
+      e += expected_bits_per_block(
+          KeyPair{static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)}, params);
+    }
+  }
+  return e / static_cast<double>(h * h);
+}
+
+}  // namespace mhhea::core

@@ -1,0 +1,56 @@
+#include "src/core/block.hpp"
+
+#include <cassert>
+
+#include "src/util/bits.hpp"
+
+namespace mhhea::core {
+
+using util::extract;
+using util::get_bit;
+using util::mask64;
+using util::set_bit;
+
+ScrambledRange scramble_range(std::uint64_t v, const KeyPair& pair,
+                              const BlockParams& params) {
+  const int h = params.half();
+  const int lo = pair.lo();
+  const int d = pair.span();
+  assert(pair.hi() <= params.max_key_value());
+  // The scramble field V[K2+H .. K1+H]: d+1 bits with its LSB at K1+H.
+  const std::uint64_t field = extract(v, pair.hi() + h, lo + h);
+  // XOR with K1, reduce into the location space (the paper's "mod 8").
+  const int kn1 = static_cast<int>((field ^ static_cast<std::uint64_t>(lo)) &
+                                   mask64(params.loc_bits()));
+  const int kn2 = (kn1 + d) % h;
+  return kn1 <= kn2 ? ScrambledRange{kn1, kn2} : ScrambledRange{kn2, kn1};
+}
+
+int key_scramble_bit(const KeyPair& pair, int t, const BlockParams& params) {
+  assert(t >= 0);
+  return static_cast<int>(get_bit(pair.lo(), t % params.loc_bits()));
+}
+
+std::uint64_t embed_bits(std::uint64_t v, const ScrambledRange& r, const KeyPair& pair,
+                         std::uint64_t msg_bits, int w, const BlockParams& params) {
+  assert(w >= 0 && w <= r.width());
+  assert(r.kn2 < params.half());
+  for (int t = 0; t < w; ++t) {
+    const int m = static_cast<int>(get_bit(msg_bits, t));
+    v = set_bit(v, r.kn1 + t, (m ^ key_scramble_bit(pair, t, params)) != 0);
+  }
+  return v;
+}
+
+std::uint64_t extract_bits(std::uint64_t v, const ScrambledRange& r, const KeyPair& pair,
+                           int w, const BlockParams& params) {
+  assert(w >= 0 && w <= r.width());
+  std::uint64_t msg = 0;
+  for (int t = 0; t < w; ++t) {
+    const int c = static_cast<int>(get_bit(v, r.kn1 + t));
+    msg |= static_cast<std::uint64_t>(c ^ key_scramble_bit(pair, t, params)) << t;
+  }
+  return msg;
+}
+
+}  // namespace mhhea::core

@@ -1,0 +1,57 @@
+// The per-block MHHEA transform — pure functions, the normative reference
+// for the RTL and gate-level models.
+//
+// Paper §II, resolved against the Fig. 8 worked example (DESIGN.md §3):
+//   1. canonicalise the key pair: K1 <= K2, d = K2 - K1;
+//   2. scramble the location: the (d+1)-bit field V[K2+H .. K1+H] (H = N/2)
+//      is XORed with K1 and reduced mod H -> KN1; KN2 = (KN1 + d) mod H;
+//      canonicalise KN1 <= KN2 (a wrap changes the range width — both sides
+//      of the channel recompute it identically);
+//   3. scramble the data: message bit t lands in V[KN1+t], XORed with bit
+//      (t mod 3) of K1 (t mod loc_bits in the generalized variant).
+// Only the low half of V is ever written; the high half — the scramble
+// source — passes through unchanged, which is what makes the receiver able
+// to recompute KN1/KN2 from the ciphertext block alone.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+
+namespace mhhea::core {
+
+/// The scrambled replacement range [kn1, kn2], kn1 <= kn2, both < N/2.
+struct ScrambledRange {
+  int kn1 = 0;
+  int kn2 = 0;
+  /// Number of bit positions replaced when a full range is used.
+  [[nodiscard]] constexpr int width() const noexcept { return kn2 - kn1 + 1; }
+
+  friend constexpr bool operator==(const ScrambledRange&, const ScrambledRange&) = default;
+};
+
+/// Step 2 above: derive the replacement range from the hiding vector's high
+/// half and the key pair. Deterministic given (V_high_half, pair) — used
+/// identically by encryptor and decryptor.
+[[nodiscard]] ScrambledRange scramble_range(std::uint64_t v, const KeyPair& pair,
+                                            const BlockParams& params = BlockParams::paper());
+
+/// Embed the low `w` bits of `msg_bits` (bit 0 = first message bit) into
+/// v[r.kn1 .. r.kn1+w-1], each XORed with the key-bit pattern. Requires
+/// 0 <= w <= r.width(). Returns the ciphertext block.
+[[nodiscard]] std::uint64_t embed_bits(std::uint64_t v, const ScrambledRange& r,
+                                       const KeyPair& pair, std::uint64_t msg_bits, int w,
+                                       const BlockParams& params = BlockParams::paper());
+
+/// Inverse of embed_bits: recover `w` message bits from a ciphertext block.
+[[nodiscard]] std::uint64_t extract_bits(std::uint64_t v, const ScrambledRange& r,
+                                         const KeyPair& pair, int w,
+                                         const BlockParams& params = BlockParams::paper());
+
+/// The key-bit XOR pattern value for position t in the range: bit
+/// (t mod loc_bits) of the canonical low key value (the paper's Ki,1[q]).
+[[nodiscard]] int key_scramble_bit(const KeyPair& pair, int t,
+                                   const BlockParams& params = BlockParams::paper());
+
+}  // namespace mhhea::core

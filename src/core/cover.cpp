@@ -1,0 +1,61 @@
+#include "src/core/cover.hpp"
+
+#include <stdexcept>
+
+#include "src/util/bits.hpp"
+
+namespace mhhea::core {
+
+namespace {
+lfsr::Lfsr make_lfsr_for(int bits, std::uint64_t seed) {
+  const int degree = bits >= 64 ? 32 : bits;
+  return lfsr::Lfsr(lfsr::primitive_polynomial(degree), seed);
+}
+}  // namespace
+
+LfsrCover::LfsrCover(int bits, std::uint64_t seed)
+    : lfsr_(make_lfsr_for(bits, seed)), bits_(bits) {
+  if (bits != 16 && bits != 32 && bits != 64) {
+    throw std::invalid_argument("LfsrCover: bits must be 16, 32 or 64");
+  }
+}
+
+std::uint64_t LfsrCover::next_block(int bits) {
+  if (bits != bits_) throw std::invalid_argument("LfsrCover: block width mismatch");
+  if (bits_ == 64) {
+    const std::uint64_t lo = lfsr_.next_block();
+    const std::uint64_t hi = lfsr_.next_block();
+    return lo | (hi << 32);
+  }
+  return lfsr_.next_block();
+}
+
+BufferCover::BufferCover(std::vector<std::uint64_t> blocks) : blocks_(std::move(blocks)) {}
+
+BufferCover BufferCover::from_bytes16(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve((bytes.size() + 1) / 2);
+  for (std::size_t i = 0; i < bytes.size(); i += 2) {
+    std::uint64_t w = bytes[i];
+    if (i + 1 < bytes.size()) w |= static_cast<std::uint64_t>(bytes[i + 1]) << 8;
+    blocks.push_back(w);
+  }
+  return BufferCover(std::move(blocks));
+}
+
+std::uint64_t BufferCover::next_block(int bits) {
+  if (pos_ >= blocks_.size()) {
+    throw std::runtime_error("BufferCover: cover data exhausted");
+  }
+  return blocks_[pos_++] & util::mask64(bits);
+}
+
+std::uint64_t CountingCover::next_block(int bits) {
+  return (next_++) & util::mask64(bits);
+}
+
+std::unique_ptr<CoverSource> make_lfsr_cover(int bits, std::uint64_t seed) {
+  return std::make_unique<LfsrCover>(bits, seed);
+}
+
+}  // namespace mhhea::core

@@ -1,0 +1,79 @@
+// Hiding-vector sources.
+//
+// Every MHHEA output block starts from an N-bit vector V. Where V comes from
+// selects the mode of the micro-architecture (paper §VI): an LFSR gives
+// packet-level *encryption*; user-supplied cover data (e.g. multimedia
+// samples) gives *steganography* — "without any changes to the hardware".
+// CoverSource abstracts that choice for the software model the same way the
+// input mux does for the hardware.
+//
+// The receiver never needs the cover source: scrambling reads only the high
+// half of V, which encryption never modifies, so KN1/KN2 are recomputable
+// from the ciphertext block itself. The LFSR seed is therefore a *nonce*,
+// not key material (tested in core_roundtrip_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/lfsr/lfsr.hpp"
+
+namespace mhhea::core {
+
+/// Produces successive N-bit hiding vectors.
+class CoverSource {
+ public:
+  virtual ~CoverSource() = default;
+  /// The next hiding vector; exactly the low `bits` bits are significant.
+  /// Throws std::runtime_error if the source is exhausted (finite covers).
+  [[nodiscard]] virtual std::uint64_t next_block(int bits) = 0;
+};
+
+/// Maximal-length LFSR source — the paper's Random Number Generator module.
+/// For `bits` = 16 or 32 a single primitive LFSR of that degree is stepped
+/// `bits` positions per block; for 64 two degree-32 blocks are concatenated
+/// (our polynomial table tops out at degree 32 — documented substitution).
+class LfsrCover final : public CoverSource {
+ public:
+  /// `seed` must be non-zero (LFSR constraint).
+  LfsrCover(int bits, std::uint64_t seed);
+  [[nodiscard]] std::uint64_t next_block(int bits) override;
+
+ private:
+  lfsr::Lfsr lfsr_;
+  int bits_;
+};
+
+/// Finite cover-data source for steganography mode: blocks are consumed from
+/// a user buffer (e.g. audio/image samples). Throws when the cover runs out —
+/// the cover must be at least as long as the stego object.
+class BufferCover final : public CoverSource {
+ public:
+  explicit BufferCover(std::vector<std::uint64_t> blocks);
+  /// Build 16-bit cover blocks from raw bytes (little-endian pairs).
+  [[nodiscard]] static BufferCover from_bytes16(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::uint64_t next_block(int bits) override;
+  [[nodiscard]] std::size_t remaining() const noexcept { return blocks_.size() - pos_; }
+
+ private:
+  std::vector<std::uint64_t> blocks_;
+  std::size_t pos_ = 0;
+};
+
+/// Deterministic counter source — not secure, used by tests to make block
+/// contents predictable.
+class CountingCover final : public CoverSource {
+ public:
+  explicit CountingCover(std::uint64_t start = 0) noexcept : next_(start) {}
+  [[nodiscard]] std::uint64_t next_block(int bits) override;
+
+ private:
+  std::uint64_t next_;
+};
+
+/// Convenience factory for the paper's configuration (16-bit LFSR cover).
+[[nodiscard]] std::unique_ptr<CoverSource> make_lfsr_cover(int bits, std::uint64_t seed);
+
+}  // namespace mhhea::core

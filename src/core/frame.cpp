@@ -1,0 +1,109 @@
+#include "src/core/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/core/mhhea.hpp"
+
+namespace mhhea::core {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'M', 'H', 'E', 'A'};
+constexpr std::uint8_t kVersion = 1;
+
+int log2_vector_scale(int vector_bits) {
+  switch (vector_bits) {
+    case 16: return 0;
+    case 32: return 1;
+    case 64: return 2;
+    default: throw std::invalid_argument("frame: unsupported vector size");
+  }
+}
+}  // namespace
+
+std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
+                                       std::span<const std::uint8_t> cipher) {
+  header.params.validate();
+  std::vector<std::uint8_t> out(FrameHeader::kSize + cipher.size());
+  std::memcpy(out.data(), kMagic, 4);
+  out[4] = kVersion;
+  const std::uint8_t policy_bit = header.params.policy == FramePolicy::framed ? 1 : 0;
+  out[5] = static_cast<std::uint8_t>(
+      policy_bit | (log2_vector_scale(header.params.vector_bits) << 1));
+  out[6] = 0;
+  out[7] = 0;
+  for (int i = 0; i < 8; ++i) {
+    out[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((header.message_bits >> (8 * i)) & 0xFF);
+  }
+  std::memcpy(out.data() + FrameHeader::kSize, cipher.data(), cipher.size());
+  return out;
+}
+
+FrameHeader frame_decode(std::span<const std::uint8_t> framed,
+                         std::span<const std::uint8_t>* payload) {
+  if (framed.size() < FrameHeader::kSize) {
+    throw std::invalid_argument("frame: buffer shorter than header");
+  }
+  if (std::memcmp(framed.data(), kMagic, 4) != 0) {
+    throw std::invalid_argument("frame: bad magic");
+  }
+  if (framed[4] != kVersion) throw std::invalid_argument("frame: unsupported version");
+  if (framed[6] != 0 || framed[7] != 0) {
+    throw std::invalid_argument("frame: reserved bytes must be zero");
+  }
+  FrameHeader h;
+  h.params.policy = (framed[5] & 1) != 0 ? FramePolicy::framed : FramePolicy::continuous;
+  switch ((framed[5] >> 1) & 0x3) {
+    case 0: h.params.vector_bits = 16; break;
+    case 1: h.params.vector_bits = 32; break;
+    case 2: h.params.vector_bits = 64; break;
+    default: throw std::invalid_argument("frame: bad vector-size code");
+  }
+  h.message_bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    h.message_bits |= static_cast<std::uint64_t>(framed[8 + static_cast<std::size_t>(i)])
+                      << (8 * i);
+  }
+  const std::size_t body = framed.size() - FrameHeader::kSize;
+  const auto bb = static_cast<std::size_t>(h.params.block_bytes());
+  if (body % bb != 0) throw std::invalid_argument("frame: payload not block-aligned");
+  // Each block carries at least one message bit while bits remain, so the
+  // block count gives hard bounds on the message length.
+  const std::size_t n_blocks = body / bb;
+  if (h.message_bits > n_blocks * static_cast<std::size_t>(h.params.half())) {
+    throw std::invalid_argument("frame: message length too large for payload");
+  }
+  if (h.message_bits > 0 && n_blocks > h.message_bits) {
+    throw std::invalid_argument("frame: more blocks than message bits");
+  }
+  if (h.message_bits == 0 && n_blocks != 0) {
+    throw std::invalid_argument("frame: empty message with nonempty payload");
+  }
+  if (payload != nullptr) *payload = framed.subspan(FrameHeader::kSize);
+  return h;
+}
+
+std::vector<std::uint8_t> seal(std::span<const std::uint8_t> msg, const Key& key,
+                               std::uint64_t seed, BlockParams params) {
+  Encryptor enc(key, make_lfsr_cover(params.vector_bits, seed), params);
+  enc.feed(msg);
+  FrameHeader h;
+  h.params = params;
+  h.message_bits = enc.message_bits();
+  const auto cipher = enc.cipher_bytes();
+  return frame_encode(h, cipher);
+}
+
+std::vector<std::uint8_t> open(std::span<const std::uint8_t> framed, const Key& key) {
+  std::span<const std::uint8_t> payload;
+  const FrameHeader h = frame_decode(framed, &payload);
+  Decryptor dec(key, h.message_bits, h.params);
+  dec.feed_bytes(payload);
+  if (!dec.done()) throw std::invalid_argument("frame: truncated ciphertext");
+  std::vector<std::uint8_t> msg = dec.message();
+  msg.resize(static_cast<std::size_t>((h.message_bits + 7) / 8));
+  return msg;
+}
+
+}  // namespace mhhea::core

@@ -1,0 +1,55 @@
+// Self-describing container for MHHEA ciphertext.
+//
+// The paper transports the message length out of band ("EOF"); for a usable
+// library we define a small framed format so a receiver holding only the key
+// can decrypt a byte blob:
+//
+//   offset  size  field
+//   0       4     magic "MHEA"
+//   4       1     format version (1)
+//   5       1     flags: bit0 = framed policy, bits 2..1 = log2(N/16)
+//   6       2     reserved (0)
+//   8       8     message length in bits (little-endian)
+//   16      ...   ciphertext blocks (N/8 bytes each, little-endian)
+//
+// The header is integrity-checked on parse (magic, version, vector size,
+// length vs payload). The LFSR seed is deliberately absent — it is a nonce
+// the receiver never needs (see mhhea.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+
+namespace mhhea::core {
+
+struct FrameHeader {
+  BlockParams params;
+  std::uint64_t message_bits = 0;
+
+  static constexpr std::size_t kSize = 16;
+};
+
+/// Serialize header + ciphertext into one buffer.
+[[nodiscard]] std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
+                                                     std::span<const std::uint8_t> cipher);
+
+/// Parse and validate a framed buffer. Throws std::invalid_argument with a
+/// specific message on any malformation. On success, `payload` receives the
+/// ciphertext span (view into `framed`).
+[[nodiscard]] FrameHeader frame_decode(std::span<const std::uint8_t> framed,
+                                       std::span<const std::uint8_t>* payload);
+
+/// Convenience: encrypt + frame in one call (seed is the nonce).
+[[nodiscard]] std::vector<std::uint8_t> seal(std::span<const std::uint8_t> msg, const Key& key,
+                                             std::uint64_t seed,
+                                             BlockParams params = BlockParams::paper());
+
+/// Convenience: parse + decrypt in one call.
+[[nodiscard]] std::vector<std::uint8_t> open(std::span<const std::uint8_t> framed,
+                                             const Key& key);
+
+}  // namespace mhhea::core

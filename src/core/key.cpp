@@ -1,0 +1,97 @@
+#include "src/core/key.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace mhhea::core {
+
+namespace {
+void validate_pairs(std::span<const KeyPair> pairs, const BlockParams& params) {
+  params.validate();
+  if (pairs.empty() || pairs.size() > static_cast<std::size_t>(Key::kMaxPairs)) {
+    throw std::invalid_argument("Key: number of pairs must be in [1,16]");
+  }
+  for (const auto& p : pairs) {
+    if (p.first > params.max_key_value() || p.second > params.max_key_value()) {
+      throw std::invalid_argument("Key: pair value exceeds max for vector size");
+    }
+  }
+}
+}  // namespace
+
+Key::Key(std::vector<KeyPair> pairs, const BlockParams& params) : pairs_(std::move(pairs)) {
+  validate_pairs(pairs_, params);
+}
+
+Key Key::parse(std::string_view text, const BlockParams& params) {
+  std::vector<KeyPair> pairs;
+  std::string cleaned;
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) cleaned.push_back(c);
+  }
+  std::istringstream is(cleaned);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto dash = item.find('-');
+    if (dash == std::string::npos || dash == 0 || dash + 1 >= item.size()) {
+      throw std::invalid_argument("Key::parse: expected 'a-b' items, got '" + item + "'");
+    }
+    const auto parse_val = [](const std::string& s) -> std::uint8_t {
+      std::size_t pos = 0;
+      const int v = std::stoi(s, &pos);
+      if (pos != s.size() || v < 0 || v > 255) {
+        throw std::invalid_argument("Key::parse: bad value '" + s + "'");
+      }
+      return static_cast<std::uint8_t>(v);
+    };
+    pairs.push_back(KeyPair{parse_val(item.substr(0, dash)), parse_val(item.substr(dash + 1))});
+  }
+  return Key(std::move(pairs), params);
+}
+
+Key Key::random(util::Xoshiro256& rng, int n_pairs, const BlockParams& params) {
+  if (n_pairs < 1 || n_pairs > kMaxPairs) {
+    throw std::invalid_argument("Key::random: n_pairs must be in [1,16]");
+  }
+  std::vector<KeyPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(n_pairs));
+  const auto max_v = static_cast<std::uint64_t>(params.max_key_value());
+  for (int i = 0; i < n_pairs; ++i) {
+    pairs.push_back(KeyPair{static_cast<std::uint8_t>(rng.below(max_v + 1)),
+                            static_cast<std::uint8_t>(rng.below(max_v + 1))});
+  }
+  return Key(std::move(pairs), params);
+}
+
+std::vector<std::uint8_t> Key::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(pairs_.size());
+  for (const auto& p : pairs_) {
+    out.push_back(static_cast<std::uint8_t>(p.first | (p.second << 4)));
+  }
+  return out;
+}
+
+Key Key::from_bytes(std::span<const std::uint8_t> bytes, const BlockParams& params) {
+  std::vector<KeyPair> pairs;
+  pairs.reserve(bytes.size());
+  for (std::uint8_t b : bytes) {
+    pairs.push_back(KeyPair{static_cast<std::uint8_t>(b & 0x0F),
+                            static_cast<std::uint8_t>(b >> 4)});
+  }
+  return Key(std::move(pairs), params);
+}
+
+std::string Key::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << static_cast<int>(pairs_[i].first) << '-' << static_cast<int>(pairs_[i].second);
+  }
+  return os.str();
+}
+
+}  // namespace mhhea::core

@@ -1,0 +1,81 @@
+// The MHHEA secret key: a matrix K[L][2] of location integers.
+//
+// Paper §II: L <= 16 pairs, each value a 3-bit integer 0..7 (for the 16-bit
+// hiding vector; the generalized variant allows values up to N/2-1).
+// Pairs are used round-robin: block i uses pair (i mod L). The algorithm
+// canonicalises each pair so K1 <= K2 before use; Key stores pairs as given
+// and exposes both raw and canonical views — the raw view is what the key
+// cache hardware holds, the canonical view is what the comparator outputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/params.hpp"
+
+namespace mhhea::util {
+class Xoshiro256;
+}
+
+namespace mhhea::core {
+
+/// One key pair. `first`/`second` are as supplied by the user; lo()/hi() are
+/// the canonical (sorted) values the algorithm actually uses.
+struct KeyPair {
+  std::uint8_t first = 0;
+  std::uint8_t second = 0;
+
+  [[nodiscard]] constexpr std::uint8_t lo() const noexcept {
+    return first < second ? first : second;
+  }
+  [[nodiscard]] constexpr std::uint8_t hi() const noexcept {
+    return first < second ? second : first;
+  }
+  /// Range width before scrambling: hi - lo (the paper's K2 - K1).
+  [[nodiscard]] constexpr int span() const noexcept { return hi() - lo(); }
+
+  friend constexpr bool operator==(const KeyPair&, const KeyPair&) = default;
+};
+
+class Key {
+ public:
+  /// Maximum number of pairs (the hardware key cache holds 16).
+  static constexpr int kMaxPairs = 16;
+
+  /// Construct from explicit pairs; validates 1 <= L <= 16 and every value
+  /// <= params.max_key_value(). Throws std::invalid_argument on violation.
+  explicit Key(std::vector<KeyPair> pairs, const BlockParams& params = BlockParams::paper());
+
+  /// Parse "a-b,c-d,..." (e.g. "0-3,2-5,7-1"). Whitespace is ignored.
+  [[nodiscard]] static Key parse(std::string_view text,
+                                 const BlockParams& params = BlockParams::paper());
+
+  /// A uniformly random key of `n_pairs` pairs.
+  [[nodiscard]] static Key random(util::Xoshiro256& rng, int n_pairs,
+                                  const BlockParams& params = BlockParams::paper());
+
+  /// Pack to one byte per pair (first | second << 4); inverse of from_bytes.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  [[nodiscard]] static Key from_bytes(std::span<const std::uint8_t> bytes,
+                                      const BlockParams& params = BlockParams::paper());
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(pairs_.size()); }
+  [[nodiscard]] const KeyPair& pair(int i) const noexcept { return pairs_[static_cast<std::size_t>(i)]; }
+  /// The pair used for block index `block` (round-robin, i mod L).
+  [[nodiscard]] const KeyPair& pair_for_block(std::uint64_t block) const noexcept {
+    return pairs_[static_cast<std::size_t>(block % pairs_.size())];
+  }
+  [[nodiscard]] std::span<const KeyPair> pairs() const noexcept { return pairs_; }
+
+  friend bool operator==(const Key&, const Key&) = default;
+
+ private:
+  std::vector<KeyPair> pairs_;
+};
+
+}  // namespace mhhea::core

@@ -1,0 +1,149 @@
+#include "src/core/mhhea.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "src/util/bits.hpp"
+
+namespace mhhea::core {
+
+Encryptor::Encryptor(Key key, std::unique_ptr<CoverSource> cover, BlockParams params)
+    : key_(std::move(key)), cover_(std::move(cover)), params_(params) {
+  params_.validate();
+  if (cover_ == nullptr) throw std::invalid_argument("Encryptor: null cover source");
+  // Re-validate the key against these params (it may have been built for a
+  // smaller vector).
+  for (const auto& p : key_.pairs()) {
+    if (p.hi() > params_.max_key_value()) {
+      throw std::invalid_argument("Encryptor: key value exceeds vector's location space");
+    }
+  }
+}
+
+void Encryptor::feed(std::span<const std::uint8_t> msg) {
+  util::BitReader reader(msg);
+  feed_bits(reader, reader.size_bits());
+}
+
+void Encryptor::feed_bits(util::BitReader& reader, std::size_t n_bits) {
+  if (n_bits > reader.remaining_bits()) {
+    throw std::invalid_argument("Encryptor::feed_bits: not enough bits in reader");
+  }
+  encrypt_frame_bit_run(reader, n_bits);
+}
+
+void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bits) {
+  std::size_t remaining = n_bits;
+  while (remaining > 0) {
+    // Framed policy: open a new frame when the previous one is complete.
+    // A frame is one alignment-buffer fill: vector_bits message bits
+    // (16 for the paper's hardware).
+    if (params_.policy == FramePolicy::framed && frame_remaining_ == 0) {
+      frame_remaining_ = static_cast<int>(
+          std::min<std::size_t>(remaining, static_cast<std::size_t>(params_.vector_bits)));
+    }
+    const std::uint64_t v = cover_->next_block(params_.vector_bits);
+    const KeyPair& pair = key_.pair_for_block(block_index_);
+    const ScrambledRange range = scramble_range(v, pair, params_);
+    const std::size_t cap = params_.policy == FramePolicy::framed
+                                ? static_cast<std::size_t>(frame_remaining_)
+                                : remaining;
+    const int w = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(range.width()), cap));
+    int got = 0;
+    const std::uint64_t msg_bits = reader.read_bits(w, &got);
+    assert(got == w);
+    blocks_.push_back(embed_bits(v, range, pair, msg_bits, w, params_));
+    ++block_index_;
+    msg_bits_ += static_cast<std::uint64_t>(w);
+    remaining -= static_cast<std::size_t>(w);
+    if (params_.policy == FramePolicy::framed) frame_remaining_ -= w;
+  }
+}
+
+std::vector<std::uint8_t> Encryptor::cipher_bytes() const {
+  std::vector<std::uint8_t> out;
+  const int bb = params_.block_bytes();
+  out.reserve(blocks_.size() * static_cast<std::size_t>(bb));
+  for (std::uint64_t b : blocks_) {
+    for (int i = 0; i < bb; ++i) out.push_back(static_cast<std::uint8_t>((b >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+Decryptor::Decryptor(Key key, std::uint64_t message_bits, BlockParams params)
+    : key_(std::move(key)), params_(params), total_bits_(message_bits) {
+  params_.validate();
+  for (const auto& p : key_.pairs()) {
+    if (p.hi() > params_.max_key_value()) {
+      throw std::invalid_argument("Decryptor: key value exceeds vector's location space");
+    }
+  }
+}
+
+int Decryptor::feed_block(std::uint64_t block) {
+  if (done()) return 0;
+  if (params_.policy == FramePolicy::framed && frame_remaining_ == 0) {
+    frame_remaining_ = static_cast<int>(std::min<std::uint64_t>(
+        total_bits_ - recovered_, static_cast<std::uint64_t>(params_.vector_bits)));
+  }
+  const KeyPair& pair = key_.pair_for_block(block_index_);
+  const ScrambledRange range = scramble_range(block, pair, params_);
+  const std::uint64_t cap = params_.policy == FramePolicy::framed
+                                ? static_cast<std::uint64_t>(frame_remaining_)
+                                : total_bits_ - recovered_;
+  const int w = static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(range.width()), cap));
+  const std::uint64_t bits = extract_bits(block, range, pair, w, params_);
+  out_.write_bits(bits, w);
+  recovered_ += static_cast<std::uint64_t>(w);
+  ++block_index_;
+  if (params_.policy == FramePolicy::framed) frame_remaining_ -= w;
+  cache_valid_ = false;
+  return w;
+}
+
+void Decryptor::feed_bytes(std::span<const std::uint8_t> cipher) {
+  const int bb = params_.block_bytes();
+  if (cipher.size() % static_cast<std::size_t>(bb) != 0) {
+    throw std::invalid_argument("Decryptor::feed_bytes: ciphertext not block-aligned");
+  }
+  for (std::size_t i = 0; i < cipher.size(); i += static_cast<std::size_t>(bb)) {
+    std::uint64_t b = 0;
+    for (int j = 0; j < bb; ++j) {
+      b |= static_cast<std::uint64_t>(cipher[i + static_cast<std::size_t>(j)]) << (8 * j);
+    }
+    feed_block(b);
+    if (done()) break;
+  }
+}
+
+const std::vector<std::uint8_t>& Decryptor::message() const {
+  if (!cache_valid_) {
+    message_cache_ = out_.bytes();
+    cache_valid_ = true;
+  }
+  return message_cache_;
+}
+
+std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> msg, const Key& key,
+                                  std::uint64_t seed, BlockParams params) {
+  Encryptor enc(key, make_lfsr_cover(params.vector_bits, seed), params);
+  enc.feed(msg);
+  return enc.cipher_bytes();
+}
+
+std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher, const Key& key,
+                                  std::size_t msg_bytes, BlockParams params) {
+  Decryptor dec(key, static_cast<std::uint64_t>(msg_bytes) * 8, params);
+  dec.feed_bytes(cipher);
+  if (!dec.done()) {
+    throw std::invalid_argument("decrypt: ciphertext too short for message length");
+  }
+  std::vector<std::uint8_t> msg = dec.message();
+  msg.resize(msg_bytes);
+  return msg;
+}
+
+}  // namespace mhhea::core

@@ -1,0 +1,111 @@
+// The MHHEA encryptor / decryptor — the paper's primary contribution as a
+// clean software library.
+//
+// Encryption hides the message bit stream inside successive hiding-vector
+// blocks (see block.hpp for the per-block transform and params.hpp for the
+// two framing policies). Each block embeds between 1 and N/2 message bits,
+// so ciphertext is larger than plaintext (expansion >= 2x for uniform random
+// keys — the price of the steganographic construction; analysis.hpp computes
+// the exact expansion for a given key).
+//
+// Decryption needs only the key and the plaintext bit length: the scrambled
+// locations are recomputed from each ciphertext block's unmodified high
+// half. In particular the encryptor's LFSR seed (or cover data) is NOT
+// required — it acts as a nonce.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/block.hpp"
+#include "src/core/cover.hpp"
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+#include "src/util/bitstream.hpp"
+
+namespace mhhea::core {
+
+/// Streaming encryptor. Feed message bytes/bits; collect N-bit ciphertext
+/// blocks. One instance encrypts one message (block index and frame state
+/// are not resettable mid-stream).
+class Encryptor {
+ public:
+  /// Takes ownership of the cover source (LFSR for encryption mode, buffer
+  /// for steganography mode).
+  Encryptor(Key key, std::unique_ptr<CoverSource> cover,
+            BlockParams params = BlockParams::paper());
+
+  /// Encrypt all bits of `msg` (appended to any previously fed data).
+  void feed(std::span<const std::uint8_t> msg);
+  /// Encrypt `n_bits` bits from `reader`.
+  void feed_bits(util::BitReader& reader, std::size_t n_bits);
+  /// Total message bits consumed so far.
+  [[nodiscard]] std::uint64_t message_bits() const noexcept { return msg_bits_; }
+  /// Ciphertext blocks produced so far.
+  [[nodiscard]] const std::vector<std::uint64_t>& blocks() const noexcept { return blocks_; }
+  /// Ciphertext blocks serialized little-endian, block_bytes() per block.
+  [[nodiscard]] std::vector<std::uint8_t> cipher_bytes() const;
+
+  [[nodiscard]] const BlockParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Key& key() const noexcept { return key_; }
+
+ private:
+  void encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bits);
+
+  Key key_;
+  std::unique_ptr<CoverSource> cover_;
+  BlockParams params_;
+  std::vector<std::uint64_t> blocks_;
+  std::uint64_t block_index_ = 0;  // the algorithm's i (before mod L)
+  std::uint64_t msg_bits_ = 0;
+  int frame_remaining_ = 0;  // framed policy: bits left in the current frame
+};
+
+/// Streaming decryptor: feed ciphertext blocks, collect message bits.
+/// `message_bits` must be known (transported by the framed file format in
+/// frame.hpp, or out of band as the paper's EOF).
+class Decryptor {
+ public:
+  Decryptor(Key key, std::uint64_t message_bits, BlockParams params = BlockParams::paper());
+
+  /// Consume one ciphertext block. Returns the number of message bits
+  /// recovered from it (0 once the message is complete).
+  int feed_block(std::uint64_t block);
+  /// Consume serialized blocks (little-endian, block_bytes() each).
+  void feed_bytes(std::span<const std::uint8_t> cipher);
+
+  /// True once message_bits bits have been recovered.
+  [[nodiscard]] bool done() const noexcept { return recovered_ == total_bits_; }
+  /// Recovered message so far, zero-padded to whole bytes.
+  [[nodiscard]] const std::vector<std::uint8_t>& message() const;
+  [[nodiscard]] std::uint64_t recovered_bits() const noexcept { return recovered_; }
+
+ private:
+  Key key_;
+  BlockParams params_;
+  std::uint64_t total_bits_;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t block_index_ = 0;
+  int frame_remaining_ = 0;
+  util::BitWriter out_;
+  mutable std::vector<std::uint8_t> message_cache_;
+  mutable bool cache_valid_ = false;
+};
+
+// ----------------------------------------------------------------------
+// One-shot helpers (the quickstart API).
+
+/// Encrypt `msg` with an LFSR cover seeded by `seed` (non-zero nonce).
+[[nodiscard]] std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> msg,
+                                                const Key& key, std::uint64_t seed,
+                                                BlockParams params = BlockParams::paper());
+
+/// Decrypt ciphertext produced by encrypt(); `msg_bytes` is the plaintext
+/// length. Throws std::invalid_argument if the ciphertext is too short.
+[[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
+                                                const Key& key, std::size_t msg_bytes,
+                                                BlockParams params = BlockParams::paper());
+
+}  // namespace mhhea::core

@@ -1,0 +1,31 @@
+// Minimal shared interface for the ciphers compared in Table 1, so the
+// benchmark harness and examples can sweep over them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mhhea::crypto {
+
+/// A one-shot symmetric cipher. Implementations are deterministic given
+/// their construction parameters (key + nonce), which is what the benches
+/// and equivalence tests need.
+class Cipher {
+ public:
+  virtual ~Cipher() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Encrypt the whole message.
+  [[nodiscard]] virtual std::vector<std::uint8_t> encrypt(
+      std::span<const std::uint8_t> msg) = 0;
+  /// Decrypt `cipher` back to a message of `msg_bytes` bytes.
+  [[nodiscard]] virtual std::vector<std::uint8_t> decrypt(
+      std::span<const std::uint8_t> cipher, std::size_t msg_bytes) = 0;
+  /// Ciphertext bytes produced per message byte (expansion factor); 1 for
+  /// conventional stream ciphers, >= 2 for the hiding ciphers.
+  [[nodiscard]] virtual double expansion() const = 0;
+};
+
+}  // namespace mhhea::crypto

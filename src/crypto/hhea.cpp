@@ -1,0 +1,119 @@
+#include "src/crypto/hhea.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/bits.hpp"
+
+namespace mhhea::crypto {
+
+using core::BlockParams;
+using core::FramePolicy;
+
+HheaEncryptor::HheaEncryptor(core::Key key, std::unique_ptr<core::CoverSource> cover,
+                             BlockParams params)
+    : key_(std::move(key)), cover_(std::move(cover)), params_(params) {
+  params_.validate();
+  if (cover_ == nullptr) throw std::invalid_argument("HheaEncryptor: null cover source");
+}
+
+void HheaEncryptor::feed(std::span<const std::uint8_t> msg) {
+  util::BitReader reader(msg);
+  std::size_t remaining = reader.size_bits();
+  while (remaining > 0) {
+    if (params_.policy == FramePolicy::framed && frame_remaining_ == 0) {
+      frame_remaining_ = static_cast<int>(
+          std::min<std::size_t>(remaining, static_cast<std::size_t>(params_.vector_bits)));
+    }
+    std::uint64_t v = cover_->next_block(params_.vector_bits);
+    const core::KeyPair& pair = key_.pair_for_block(block_index_);
+    const std::size_t cap = params_.policy == FramePolicy::framed
+                                ? static_cast<std::size_t>(frame_remaining_)
+                                : remaining;
+    const int n = pair.span() + 1;  // fixed, unscrambled range width
+    const int w = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(n), cap));
+    for (int t = 0; t < w; ++t) {
+      v = util::set_bit(v, pair.lo() + t, reader.read_bit());  // no data XOR
+    }
+    blocks_.push_back(v);
+    ++block_index_;
+    msg_bits_ += static_cast<std::uint64_t>(w);
+    remaining -= static_cast<std::size_t>(w);
+    if (params_.policy == FramePolicy::framed) frame_remaining_ -= w;
+  }
+}
+
+std::vector<std::uint8_t> HheaEncryptor::cipher_bytes() const {
+  std::vector<std::uint8_t> out;
+  const int bb = params_.block_bytes();
+  out.reserve(blocks_.size() * static_cast<std::size_t>(bb));
+  for (std::uint64_t b : blocks_) {
+    for (int i = 0; i < bb; ++i) out.push_back(static_cast<std::uint8_t>((b >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+HheaDecryptor::HheaDecryptor(core::Key key, std::uint64_t message_bits, BlockParams params)
+    : key_(std::move(key)), params_(params), total_bits_(message_bits) {
+  params_.validate();
+}
+
+int HheaDecryptor::feed_block(std::uint64_t block) {
+  if (done()) return 0;
+  if (params_.policy == FramePolicy::framed && frame_remaining_ == 0) {
+    frame_remaining_ = static_cast<int>(std::min<std::uint64_t>(
+        total_bits_ - recovered_, static_cast<std::uint64_t>(params_.vector_bits)));
+  }
+  const core::KeyPair& pair = key_.pair_for_block(block_index_);
+  const std::uint64_t cap = params_.policy == FramePolicy::framed
+                                ? static_cast<std::uint64_t>(frame_remaining_)
+                                : total_bits_ - recovered_;
+  const int n = pair.span() + 1;
+  const int w =
+      static_cast<int>(std::min<std::uint64_t>(static_cast<std::uint64_t>(n), cap));
+  for (int t = 0; t < w; ++t) {
+    out_.write_bit(util::get_bit(block, pair.lo() + t) != 0);
+  }
+  recovered_ += static_cast<std::uint64_t>(w);
+  ++block_index_;
+  if (params_.policy == FramePolicy::framed) frame_remaining_ -= w;
+  return w;
+}
+
+void HheaDecryptor::feed_bytes(std::span<const std::uint8_t> cipher) {
+  const auto bb = static_cast<std::size_t>(params_.block_bytes());
+  if (cipher.size() % bb != 0) {
+    throw std::invalid_argument("HheaDecryptor: ciphertext not block-aligned");
+  }
+  for (std::size_t i = 0; i < cipher.size(); i += bb) {
+    std::uint64_t b = 0;
+    for (std::size_t j = 0; j < bb; ++j) {
+      b |= static_cast<std::uint64_t>(cipher[i + j]) << (8 * j);
+    }
+    feed_block(b);
+    if (done()) break;
+  }
+}
+
+std::vector<std::uint8_t> hhea_encrypt(std::span<const std::uint8_t> msg,
+                                       const core::Key& key, std::uint64_t seed,
+                                       BlockParams params) {
+  HheaEncryptor enc(key, core::make_lfsr_cover(params.vector_bits, seed), params);
+  enc.feed(msg);
+  return enc.cipher_bytes();
+}
+
+std::vector<std::uint8_t> hhea_decrypt(std::span<const std::uint8_t> cipher,
+                                       const core::Key& key, std::size_t msg_bytes,
+                                       BlockParams params) {
+  HheaDecryptor dec(key, static_cast<std::uint64_t>(msg_bytes) * 8, params);
+  dec.feed_bytes(cipher);
+  if (!dec.done()) {
+    throw std::invalid_argument("hhea_decrypt: ciphertext too short for message length");
+  }
+  auto msg = dec.message();
+  msg.resize(msg_bytes);
+  return msg;
+}
+
+}  // namespace mhhea::crypto

@@ -1,0 +1,77 @@
+// The original (unmodified) Hybrid Hiding Encryption Algorithm — HHEA
+// [SHAAR03], the baseline the paper improves upon.
+//
+// HHEA hides message bits at FIXED key locations: block i uses pair
+// (K1, K2) = key[i mod L] and writes message bits directly (no XOR) into
+// V[K1 .. K2]. There is no location scrambling and no data scrambling —
+// which is exactly why a constant chosen-plaintext attack recovers the key
+// locations (demonstrated in src/attack/cpa.hpp) and why the paper added
+// the two scrambling steps.
+//
+// The same CoverSource / framing machinery as the core cipher is reused so
+// HHEA and MHHEA are compared on equal footing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/cover.hpp"
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+#include "src/util/bitstream.hpp"
+
+namespace mhhea::crypto {
+
+/// Streaming HHEA encryptor (API mirrors core::Encryptor).
+class HheaEncryptor {
+ public:
+  HheaEncryptor(core::Key key, std::unique_ptr<core::CoverSource> cover,
+                core::BlockParams params = core::BlockParams::paper());
+
+  void feed(std::span<const std::uint8_t> msg);
+  [[nodiscard]] std::uint64_t message_bits() const noexcept { return msg_bits_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::vector<std::uint8_t> cipher_bytes() const;
+
+ private:
+  core::Key key_;
+  std::unique_ptr<core::CoverSource> cover_;
+  core::BlockParams params_;
+  std::vector<std::uint64_t> blocks_;
+  std::uint64_t block_index_ = 0;
+  std::uint64_t msg_bits_ = 0;
+  int frame_remaining_ = 0;
+};
+
+/// Streaming HHEA decryptor.
+class HheaDecryptor {
+ public:
+  HheaDecryptor(core::Key key, std::uint64_t message_bits,
+                core::BlockParams params = core::BlockParams::paper());
+
+  int feed_block(std::uint64_t block);
+  void feed_bytes(std::span<const std::uint8_t> cipher);
+  [[nodiscard]] bool done() const noexcept { return recovered_ == total_bits_; }
+  [[nodiscard]] std::vector<std::uint8_t> message() const { return out_.bytes(); }
+
+ private:
+  core::Key key_;
+  core::BlockParams params_;
+  std::uint64_t total_bits_;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t block_index_ = 0;
+  int frame_remaining_ = 0;
+  util::BitWriter out_;
+};
+
+/// One-shot helpers with an LFSR cover (seed = nonce), like core::encrypt.
+[[nodiscard]] std::vector<std::uint8_t> hhea_encrypt(
+    std::span<const std::uint8_t> msg, const core::Key& key, std::uint64_t seed,
+    core::BlockParams params = core::BlockParams::paper());
+[[nodiscard]] std::vector<std::uint8_t> hhea_decrypt(
+    std::span<const std::uint8_t> cipher, const core::Key& key, std::size_t msg_bytes,
+    core::BlockParams params = core::BlockParams::paper());
+
+}  // namespace mhhea::crypto

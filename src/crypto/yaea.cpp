@@ -1,0 +1,38 @@
+#include "src/crypto/yaea.hpp"
+
+namespace mhhea::crypto {
+
+GeffeKeystream::GeffeKeystream(std::uint32_t seed_a, std::uint32_t seed_b,
+                               std::uint32_t seed_c)
+    : a_(lfsr::primitive_polynomial(kDegreeA), seed_a),
+      b_(lfsr::primitive_polynomial(kDegreeB), seed_b),
+      c_(lfsr::primitive_polynomial(kDegreeC), seed_c) {}
+
+bool GeffeKeystream::next_bit() noexcept {
+  const bool a = a_.step();
+  const bool b = b_.step();
+  const bool c = c_.step();
+  return (a && b) || (!a && c);
+}
+
+std::uint8_t GeffeKeystream::next_byte() noexcept {
+  std::uint8_t v = 0;
+  for (int i = 0; i < 8; ++i) v = static_cast<std::uint8_t>(v | (next_bit() << i));
+  return v;
+}
+
+std::vector<std::uint8_t> Yaea::encrypt(std::span<const std::uint8_t> msg) {
+  GeffeKeystream ks(key_.seed_a, key_.seed_b, key_.seed_c);
+  std::vector<std::uint8_t> out(msg.size());
+  for (std::size_t i = 0; i < msg.size(); ++i) out[i] = msg[i] ^ ks.next_byte();
+  return out;
+}
+
+std::vector<std::uint8_t> Yaea::decrypt(std::span<const std::uint8_t> cipher,
+                                        std::size_t msg_bytes) {
+  auto out = encrypt(cipher);  // XOR stream cipher: decrypt == encrypt
+  out.resize(msg_bytes);
+  return out;
+}
+
+}  // namespace mhhea::crypto

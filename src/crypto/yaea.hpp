@@ -1,0 +1,72 @@
+// YAEA-S — the stand-in for the YAEA comparator of Table 1.
+//
+// The original YAEA ("Yet Another Encryption Algorithm", Saeb/Zewail/Seif,
+// ICEENG 2002) is cited by the paper but its specification is not publicly
+// available, so — per the reproduction rules (DESIGN.md §2) — we substitute
+// a cipher of the same architectural class: a compact, fast LFSR-based
+// stream cipher that XORs a keystream byte per cycle. We use the classic
+// Geffe construction: three maximal-length LFSRs (degrees 17, 19, 23 —
+// pairwise-coprime periods) combined per bit as
+//
+//     z = (a & b) | (~a & c)
+//
+// i.e. LFSR A multiplexes between B and C. This preserves exactly what
+// Table 1 needs from YAEA: a conventional (non-hiding) stream cipher with a
+// short critical path and small area, hence the highest functional density.
+// Its known weakness (75% correlation of z with both b and c — the classic
+// Geffe correlation attack, implemented in src/attack) stands in for the
+// paper's caveat that "different algorithms have different degrees of
+// security".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/crypto/cipher.hpp"
+#include "src/lfsr/lfsr.hpp"
+
+namespace mhhea::crypto {
+
+/// The Geffe keystream generator at the heart of YAEA-S.
+class GeffeKeystream {
+ public:
+  /// Degrees of the three component LFSRs (A selects, B/C feed).
+  static constexpr int kDegreeA = 17;
+  static constexpr int kDegreeB = 19;
+  static constexpr int kDegreeC = 23;
+
+  /// Seeds must be non-zero in the low degree bits. Throws otherwise.
+  GeffeKeystream(std::uint32_t seed_a, std::uint32_t seed_b, std::uint32_t seed_c);
+
+  /// One keystream bit.
+  [[nodiscard]] bool next_bit() noexcept;
+  /// One keystream byte (8 bits, LSB first).
+  [[nodiscard]] std::uint8_t next_byte() noexcept;
+
+ private:
+  lfsr::Lfsr a_, b_, c_;
+};
+
+/// 96-bit-keyed stream cipher: ciphertext = plaintext XOR keystream.
+class Yaea final : public Cipher {
+ public:
+  struct KeyType {
+    std::uint32_t seed_a = 0;
+    std::uint32_t seed_b = 0;
+    std::uint32_t seed_c = 0;
+  };
+
+  explicit Yaea(KeyType key) : key_(key) {}
+
+  [[nodiscard]] std::string name() const override { return "YAEA-S"; }
+  [[nodiscard]] std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> msg) override;
+  [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
+                                                  std::size_t msg_bytes) override;
+  [[nodiscard]] double expansion() const override { return 1.0; }
+
+ private:
+  KeyType key_;
+};
+
+}  // namespace mhhea::crypto

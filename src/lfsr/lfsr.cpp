@@ -1,0 +1,55 @@
+#include "src/lfsr/lfsr.hpp"
+
+#include <stdexcept>
+
+#include "src/util/bits.hpp"
+
+namespace mhhea::lfsr {
+
+Lfsr::Lfsr(Polynomial poly, std::uint64_t seed, Form form)
+    : poly_(poly),
+      form_(form),
+      fib_mask_(poly.mask & util::mask64(poly.degree)),
+      galois_mask_(poly.mask >> 1),
+      state_(seed & util::mask64(poly.degree)) {
+  if (poly.degree < 2 || poly.degree > 32 || util::get_bit(poly.mask, 0) == 0 ||
+      util::get_bit(poly.mask, poly.degree) == 0) {
+    throw std::invalid_argument("Lfsr: malformed feedback polynomial");
+  }
+  if (state_ == 0) {
+    throw std::invalid_argument("Lfsr: seed must be non-zero in the low degree bits");
+  }
+}
+
+bool Lfsr::step() noexcept {
+  const bool out = (state_ & 1) != 0;
+  if (form_ == Form::fibonacci) {
+    const std::uint64_t fb = util::parity64(state_ & fib_mask_);
+    state_ = (state_ >> 1) | (fb << (poly_.degree - 1));
+  } else {
+    state_ >>= 1;
+    if (out) state_ ^= galois_mask_;
+  }
+  return out;
+}
+
+std::uint64_t Lfsr::step_bits(int n) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(step()) << i;
+  return v;
+}
+
+void Lfsr::advance(std::uint64_t n) noexcept {
+  for (std::uint64_t i = 0; i < n; ++i) (void)step();
+}
+
+std::uint64_t Lfsr::next_block() noexcept {
+  advance(static_cast<std::uint64_t>(poly_.degree));
+  return state_;
+}
+
+Lfsr make_hiding_vector_lfsr(std::uint16_t seed) {
+  return Lfsr(primitive_polynomial(16), seed, Lfsr::Form::fibonacci);
+}
+
+}  // namespace mhhea::lfsr

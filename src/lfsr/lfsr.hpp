@@ -1,0 +1,70 @@
+// Linear Feedback Shift Registers (Fibonacci and Galois forms).
+//
+// This is the paper's "Random Number Generator" module (§3.6): the hiding
+// vector V is read from a maximal-length LFSR. Both the software reference
+// model (src/core) and the RTL/netlist models (src/arch, src/gates) step the
+// *same* Fibonacci LFSR so ciphertexts are bit-exact across all three levels
+// of the stack — that equivalence is what the co-simulation tests check.
+//
+// Stepping conventions (derived from the polynomial, see lfsr_test.cpp):
+//   state bit i holds sequence element s_{n+i}; the oldest bit (s_n) is
+//   bit 0 and is emitted by step(); the new bit s_{n+d} enters at bit d-1.
+//   Fibonacci: s_{n+d} = parity(state & (mask & ~x^d term)).
+//   Galois:    out = bit 0; state >>= 1; if out, state ^= (mask >> 1).
+// Both forms realise a sequence whose period is the order of x mod the
+// polynomial — 2^d - 1 when the polynomial is primitive.
+#pragma once
+
+#include <cstdint>
+
+#include "src/lfsr/polynomials.hpp"
+
+namespace mhhea::lfsr {
+
+class Lfsr {
+ public:
+  enum class Form { fibonacci, galois };
+
+  /// Construct with a feedback polynomial and a non-zero seed (low `degree`
+  /// bits are used). Throws std::invalid_argument on a zero seed or a
+  /// malformed polynomial (an LFSR parked at state 0 never leaves it).
+  Lfsr(Polynomial poly, std::uint64_t seed, Form form = Form::fibonacci);
+
+  /// Shift once; returns the output bit (the oldest state bit).
+  bool step() noexcept;
+
+  /// Shift `n` (<=64) times; output bits packed LSB-first (first bit out at
+  /// bit 0 of the result).
+  [[nodiscard]] std::uint64_t step_bits(int n) noexcept;
+
+  /// Advance `n` steps, discarding output.
+  void advance(std::uint64_t n) noexcept;
+
+  /// Advance `degree` steps and return the new state — one "fresh" block.
+  /// This is the hiding-vector source: for the paper's 16-bit LFSR, each
+  /// call yields the next V ("Generate 16-bit randomly and set them in V").
+  [[nodiscard]] std::uint64_t next_block() noexcept;
+
+  [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+  [[nodiscard]] int degree() const noexcept { return poly_.degree; }
+  [[nodiscard]] Form form() const noexcept { return form_; }
+  [[nodiscard]] const Polynomial& polynomial() const noexcept { return poly_; }
+
+  /// Maximum period for this degree: 2^degree - 1.
+  [[nodiscard]] std::uint64_t max_period() const noexcept {
+    return (std::uint64_t{1} << poly_.degree) - 1;
+  }
+
+ private:
+  Polynomial poly_;
+  Form form_;
+  std::uint64_t fib_mask_;     // taps for the Fibonacci feedback parity
+  std::uint64_t galois_mask_;  // XOR constant for the Galois form
+  std::uint64_t state_;
+};
+
+/// The paper's hiding-vector generator: degree-16 primitive LFSR, Fibonacci
+/// form. Seed must be non-zero in the low 16 bits.
+[[nodiscard]] Lfsr make_hiding_vector_lfsr(std::uint16_t seed);
+
+}  // namespace mhhea::lfsr

@@ -1,0 +1,169 @@
+#include "src/lfsr/polynomials.hpp"
+
+#include <array>
+#include <cassert>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/bits.hpp"
+
+namespace mhhea::lfsr {
+
+namespace {
+
+std::uint64_t mask_from(std::initializer_list<int> exponents) {
+  std::uint64_t m = 0;
+  for (int e : exponents) m |= std::uint64_t{1} << e;
+  return m;
+}
+
+struct TableEntry {
+  int degree;
+  std::uint64_t mask;
+};
+
+// Exponent sets from standard tables (Xilinx XAPP052 / Peterson & Weldon).
+// tests/lfsr_test.cpp verifies every entry with is_primitive(); an incorrect
+// transcription fails the suite.
+const std::array<TableEntry, 31> kPrimitive = {{
+    {2, mask_from({2, 1, 0})},
+    {3, mask_from({3, 1, 0})},
+    {4, mask_from({4, 1, 0})},
+    {5, mask_from({5, 2, 0})},
+    {6, mask_from({6, 1, 0})},
+    {7, mask_from({7, 1, 0})},
+    {8, mask_from({8, 4, 3, 2, 0})},
+    {9, mask_from({9, 4, 0})},
+    {10, mask_from({10, 3, 0})},
+    {11, mask_from({11, 2, 0})},
+    {12, mask_from({12, 6, 4, 1, 0})},
+    {13, mask_from({13, 4, 3, 1, 0})},
+    {14, mask_from({14, 5, 3, 1, 0})},
+    {15, mask_from({15, 1, 0})},
+    {16, mask_from({16, 15, 13, 4, 0})},
+    {17, mask_from({17, 3, 0})},
+    {18, mask_from({18, 7, 0})},
+    {19, mask_from({19, 5, 2, 1, 0})},
+    {20, mask_from({20, 3, 0})},
+    {21, mask_from({21, 2, 0})},
+    {22, mask_from({22, 1, 0})},
+    {23, mask_from({23, 5, 0})},
+    {24, mask_from({24, 7, 2, 1, 0})},
+    {25, mask_from({25, 3, 0})},
+    {26, mask_from({26, 6, 2, 1, 0})},
+    {27, mask_from({27, 5, 2, 1, 0})},
+    {28, mask_from({28, 3, 0})},
+    {29, mask_from({29, 2, 0})},
+    {30, mask_from({30, 23, 2, 1, 0})},
+    {31, mask_from({31, 3, 0})},
+    {32, mask_from({32, 22, 2, 1, 0})},
+}};
+
+// Distinct prime factors of 2^d - 1, d = 2..32.
+const std::array<std::vector<std::uint64_t>, 31> kFactors = {{
+    /* 2*/ {3},
+    /* 3*/ {7},
+    /* 4*/ {3, 5},
+    /* 5*/ {31},
+    /* 6*/ {3, 7},
+    /* 7*/ {127},
+    /* 8*/ {3, 5, 17},
+    /* 9*/ {7, 73},
+    /*10*/ {3, 11, 31},
+    /*11*/ {23, 89},
+    /*12*/ {3, 5, 7, 13},
+    /*13*/ {8191},
+    /*14*/ {3, 43, 127},
+    /*15*/ {7, 31, 151},
+    /*16*/ {3, 5, 17, 257},
+    /*17*/ {131071},
+    /*18*/ {3, 7, 19, 73},
+    /*19*/ {524287},
+    /*20*/ {3, 5, 11, 31, 41},
+    /*21*/ {7, 127, 337},
+    /*22*/ {3, 23, 89, 683},
+    /*23*/ {47, 178481},
+    /*24*/ {3, 5, 7, 13, 17, 241},
+    /*25*/ {31, 601, 1801},
+    /*26*/ {3, 2731, 8191},
+    /*27*/ {7, 73, 262657},
+    /*28*/ {3, 5, 29, 43, 113, 127},
+    /*29*/ {233, 1103, 2089},
+    /*30*/ {3, 7, 11, 31, 151, 331},
+    /*31*/ {2147483647},
+    /*32*/ {3, 5, 17, 257, 65537},
+}};
+
+}  // namespace
+
+Polynomial polynomial_from_exponents(std::span<const int> exponents) {
+  Polynomial p;
+  for (int e : exponents) {
+    if (e < 0 || e > 32) throw std::out_of_range("polynomial exponent out of range");
+    p.mask |= std::uint64_t{1} << e;
+    if (e > p.degree) p.degree = e;
+  }
+  return p;
+}
+
+Polynomial primitive_polynomial(int degree) {
+  if (degree < 2 || degree > 32) {
+    throw std::out_of_range("primitive_polynomial: degree must be in [2,32]");
+  }
+  const auto& e = kPrimitive[static_cast<std::size_t>(degree - 2)];
+  assert(e.degree == degree);
+  return Polynomial{e.degree, e.mask};
+}
+
+std::span<const std::uint64_t> prime_factors_2d_minus_1(int degree) {
+  if (degree < 2 || degree > 32) {
+    throw std::out_of_range("prime_factors_2d_minus_1: degree must be in [2,32]");
+  }
+  return kFactors[static_cast<std::size_t>(degree - 2)];
+}
+
+std::uint64_t gf2_mul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    a <<= 1;
+    b >>= 1;
+  }
+  return r;
+}
+
+std::uint64_t gf2_mod(std::uint64_t a, const Polynomial& m) {
+  assert(m.degree >= 1 && util::get_bit(m.mask, m.degree) == 1);
+  for (int i = 63; i >= m.degree; --i) {
+    if (util::get_bit(a, i) != 0) a ^= m.mask << (i - m.degree);
+  }
+  return a;
+}
+
+std::uint64_t gf2_pow_x(std::uint64_t e, const Polynomial& m) {
+  // Square-and-multiply with base x (mask 0b10). All intermediates are
+  // reduced, so products stay below degree 2*32 < 64 bits.
+  std::uint64_t result = 1;                 // the constant polynomial 1
+  std::uint64_t base = gf2_mod(0b10, m);    // x mod m
+  while (e != 0) {
+    if (e & 1) result = gf2_mod(gf2_mul(result, base), m);
+    base = gf2_mod(gf2_mul(base, base), m);
+    e >>= 1;
+  }
+  return result;
+}
+
+bool is_primitive(const Polynomial& m) {
+  if (m.degree < 2 || m.degree > 32) return false;
+  if (util::get_bit(m.mask, 0) == 0) return false;        // x divides m
+  if (util::get_bit(m.mask, m.degree) == 0) return false;  // malformed
+  const std::uint64_t n = (std::uint64_t{1} << m.degree) - 1;
+  if (gf2_pow_x(n, m) != 1) return false;  // ord(x) does not divide 2^d-1
+  for (std::uint64_t p : prime_factors_2d_minus_1(m.degree)) {
+    if (gf2_pow_x(n / p, m) == 1) return false;  // ord(x) is a proper divisor
+  }
+  return true;
+}
+
+}  // namespace mhhea::lfsr

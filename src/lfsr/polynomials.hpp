@@ -1,0 +1,54 @@
+// Primitive polynomials over GF(2) and a primitivity checker.
+//
+// The paper's Random Number Generator module (§3.6) is "an LFSR with a
+// primitive feedback polynomial to ensure a maximal-length sequence".
+// This library provides vetted primitive polynomials for degrees 2..32 and a
+// proof-quality checker: a degree-d polynomial m with m(0)=1 is primitive iff
+// the residue x has multiplicative order 2^d - 1 in GF(2)[x]/(m). The order
+// test needs the prime factorisation of 2^d - 1, which is tabulated here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mhhea::lfsr {
+
+/// A GF(2) polynomial of degree <= 32, stored as an exponent mask:
+/// bit k set <=> the x^k term is present. A valid feedback polynomial has
+/// both bit `degree` and bit 0 set.
+struct Polynomial {
+  int degree = 0;
+  std::uint64_t mask = 0;
+
+  friend bool operator==(const Polynomial&, const Polynomial&) = default;
+};
+
+/// Construct a polynomial from its exponent list, e.g. {16,15,13,4,0}.
+/// The degree is the largest exponent. Exponent 0 (the constant term) must
+/// be included explicitly.
+[[nodiscard]] Polynomial polynomial_from_exponents(std::span<const int> exponents);
+
+/// A known-primitive polynomial of the given degree (2..32). Throws
+/// std::out_of_range otherwise. Every table entry is verified primitive by
+/// the test suite using is_primitive().
+[[nodiscard]] Polynomial primitive_polynomial(int degree);
+
+/// The distinct prime factors of 2^degree - 1 (degree 2..32).
+[[nodiscard]] std::span<const std::uint64_t> prime_factors_2d_minus_1(int degree);
+
+/// Carry-less (GF(2)) product of two polynomials given as exponent masks.
+/// Degrees must be small enough that the product fits in 64 bits.
+[[nodiscard]] std::uint64_t gf2_mul(std::uint64_t a, std::uint64_t b);
+
+/// Reduce `a` modulo polynomial `m` (degree d).
+[[nodiscard]] std::uint64_t gf2_mod(std::uint64_t a, const Polynomial& m);
+
+/// (x^e) mod m via square-and-multiply.
+[[nodiscard]] std::uint64_t gf2_pow_x(std::uint64_t e, const Polynomial& m);
+
+/// True iff `m` is primitive over GF(2): m(0) = 1 and ord(x) = 2^deg - 1 in
+/// GF(2)[x]/(m). (Order 2^d - 1 forces the quotient to be a field, so no
+/// separate irreducibility test is needed.)
+[[nodiscard]] bool is_primitive(const Polynomial& m);
+
+}  // namespace mhhea::lfsr

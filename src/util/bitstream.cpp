@@ -1,0 +1,76 @@
+#include "src/util/bitstream.hpp"
+
+#include <cassert>
+
+#include "src/util/bits.hpp"
+
+namespace mhhea::util {
+
+bool BitReader::read_bit() noexcept {
+  assert(!eof());
+  const std::size_t byte = pos_ / 8;
+  const int bit = static_cast<int>(pos_ % 8);
+  ++pos_;
+  return ((bytes_[byte] >> bit) & 1u) != 0;
+}
+
+std::uint64_t BitReader::read_bits(int n, int* read) noexcept {
+  assert(n >= 0 && n <= 64);
+  std::uint64_t v = 0;
+  int got = 0;
+  while (got < n && !eof()) {
+    v |= static_cast<std::uint64_t>(read_bit()) << got;
+    ++got;
+  }
+  if (read != nullptr) *read = got;
+  return v;
+}
+
+bool BitReader::peek_bit(std::size_t ahead) const noexcept {
+  const std::size_t p = pos_ + ahead;
+  assert(p < size_bits());
+  return ((bytes_[p / 8] >> (p % 8)) & 1u) != 0;
+}
+
+void BitWriter::write_bit(bool b) {
+  const std::size_t byte = bits_ / 8;
+  const int bit = static_cast<int>(bits_ % 8);
+  if (byte >= out_.size()) out_.push_back(0);
+  if (b) out_[byte] = static_cast<std::uint8_t>(out_[byte] | (1u << bit));
+  ++bits_;
+}
+
+void BitWriter::write_bits(std::uint64_t v, int n) {
+  assert(n >= 0 && n <= 64);
+  for (int i = 0; i < n; ++i) write_bit(get_bit(v, i) != 0);
+}
+
+void BitWriter::align_to_byte() {
+  while (bits_ % 8 != 0) write_bit(false);
+}
+
+std::vector<std::uint8_t> BitWriter::take() noexcept {
+  bits_ = 0;
+  return std::move(out_);
+}
+
+std::vector<std::uint16_t> to_words16(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint16_t> words((bytes.size() + 1) / 2, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    words[i / 2] = static_cast<std::uint16_t>(words[i / 2] |
+                                              (static_cast<std::uint16_t>(bytes[i]) << (8 * (i % 2))));
+  }
+  return words;
+}
+
+std::vector<std::uint8_t> from_words16(std::span<const std::uint16_t> words,
+                                       std::size_t n_bytes) {
+  assert(n_bytes <= words.size() * 2);
+  std::vector<std::uint8_t> bytes(n_bytes, 0);
+  for (std::size_t i = 0; i < n_bytes; ++i) {
+    bytes[i] = static_cast<std::uint8_t>((words[i / 2] >> (8 * (i % 2))) & 0xFF);
+  }
+  return bytes;
+}
+
+}  // namespace mhhea::util

@@ -1,0 +1,82 @@
+// LSB-first bit streams over byte buffers.
+//
+// The MHHEA algorithm consumes and produces *bit* streams while files and
+// network packets are byte streams. The normative convention for this
+// repository (DESIGN.md §3) is:
+//   * within a byte, bit 0 (the LSB) is consumed first;
+//   * 16-bit hardware words are little-endian (byte[0] = bits 7..0).
+// This makes the software bit stream identical to the hardware view of the
+// message cache, which is what the co-simulation tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mhhea::util {
+
+/// Read-only LSB-first bit cursor over a byte span. Does not own the bytes.
+class BitReader {
+ public:
+  BitReader() = default;
+  explicit BitReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
+
+  /// Total number of bits in the underlying buffer.
+  [[nodiscard]] std::size_t size_bits() const noexcept { return bytes_.size() * 8; }
+  /// Number of bits not yet consumed.
+  [[nodiscard]] std::size_t remaining_bits() const noexcept { return size_bits() - pos_; }
+  /// True when all bits have been consumed (the algorithm's EOF test).
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= size_bits(); }
+  /// Current cursor, in bits from the start.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  /// Consume one bit. Precondition: !eof().
+  [[nodiscard]] bool read_bit() noexcept;
+
+  /// Consume up to `n` (<=64) bits into the low bits of the result,
+  /// first-consumed bit at bit 0. If fewer than `n` remain, the high bits are
+  /// zero and the cursor stops at EOF; `read` receives the count consumed.
+  [[nodiscard]] std::uint64_t read_bits(int n, int* read = nullptr) noexcept;
+
+  /// Peek one bit at offset `ahead` from the cursor without consuming.
+  [[nodiscard]] bool peek_bit(std::size_t ahead = 0) const noexcept;
+
+  /// Reset the cursor to the beginning.
+  void rewind() noexcept { pos_ = 0; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only LSB-first bit sink producing a byte vector.
+class BitWriter {
+ public:
+  /// Append one bit.
+  void write_bit(bool b);
+  /// Append the low `n` (<=64) bits of `v`, bit 0 first.
+  void write_bits(std::uint64_t v, int n);
+  /// Number of bits written so far.
+  [[nodiscard]] std::size_t size_bits() const noexcept { return bits_; }
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+  /// The bytes written so far; a trailing partial byte is zero-padded.
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return out_; }
+  /// Move the buffer out (leaves the writer empty).
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept;
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::size_t bits_ = 0;
+};
+
+/// Pack a byte span into little-endian 16-bit words (zero-padded tail) —
+/// exactly how the hardware message cache sees a file.
+[[nodiscard]] std::vector<std::uint16_t> to_words16(std::span<const std::uint8_t> bytes);
+
+/// Inverse of to_words16; `n_bytes` trims the zero-padded tail.
+[[nodiscard]] std::vector<std::uint8_t> from_words16(std::span<const std::uint16_t> words,
+                                                     std::size_t n_bytes);
+
+}  // namespace mhhea::util

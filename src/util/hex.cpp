@@ -1,0 +1,66 @@
+#include "src/util/hex.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mhhea::util {
+
+namespace {
+constexpr char kDigits[] = "0123456789ABCDEF";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument(std::string("not a hex digit: '") + c + "'");
+}
+}  // namespace
+
+std::string to_hex(std::uint64_t v, int digits) {
+  assert(digits >= 1 && digits <= 16);
+  std::string s(static_cast<std::size_t>(digits), '0');
+  for (int i = digits - 1; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::string to_bin(std::uint64_t v, int bits) {
+  assert(bits >= 1 && bits <= 64);
+  std::string s(static_cast<std::size_t>(bits), '0');
+  for (int i = bits - 1; i >= 0; --i) {
+    s[static_cast<std::size_t>(bits - 1 - i)] = ((v >> i) & 1) ? '1' : '0';
+  }
+  return s;
+}
+
+std::uint64_t parse_hex(std::string_view s) {
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) s.remove_prefix(2);
+  if (s.empty()) throw std::invalid_argument("empty hex string");
+  if (s.size() > 16) throw std::invalid_argument("hex string wider than 64 bits");
+  std::uint64_t v = 0;
+  for (char c : s) v = (v << 4) | static_cast<std::uint64_t>(hex_value(c));
+  return v;
+}
+
+std::string bytes_to_hex(std::span<const std::uint8_t> bytes) {
+  std::string s;
+  s.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    s.push_back(kDigits[b >> 4]);
+    s.push_back(kDigits[b & 0xF]);
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> hex_to_bytes(std::string_view s) {
+  if (s.size() % 2 != 0) throw std::invalid_argument("odd-length hex string");
+  std::vector<std::uint8_t> out(s.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((hex_value(s[2 * i]) << 4) | hex_value(s[2 * i + 1]));
+  }
+  return out;
+}
+
+}  // namespace mhhea::util

@@ -1,0 +1,30 @@
+// Hex formatting/parsing helpers used by reports, waveforms and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mhhea::util {
+
+/// `v` as upper-case hex, zero-padded to `digits` characters (like the
+/// paper's bus annotations, e.g. "ABCD1234").
+[[nodiscard]] std::string to_hex(std::uint64_t v, int digits);
+
+/// `v` as a binary string of exactly `bits` characters, MSB first
+/// (e.g. to_bin(0b010, 3) == "010" — the paper writes values like "010b").
+[[nodiscard]] std::string to_bin(std::uint64_t v, int bits);
+
+/// Parse a hex string (optionally "0x"-prefixed); throws std::invalid_argument
+/// on junk or overflow past 64 bits.
+[[nodiscard]] std::uint64_t parse_hex(std::string_view s);
+
+/// Bytes as a continuous upper-case hex string ("AB12..").
+[[nodiscard]] std::string bytes_to_hex(std::span<const std::uint8_t> bytes);
+
+/// Inverse of bytes_to_hex; throws std::invalid_argument on odd length/junk.
+[[nodiscard]] std::vector<std::uint8_t> hex_to_bytes(std::string_view s);
+
+}  // namespace mhhea::util

@@ -1,0 +1,112 @@
+// Tests of the self-describing ciphertext container (seal/open) and its
+// failure modes.
+#include "src/core/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/mhhea.hpp"
+#include "src/util/rng.hpp"
+
+namespace mhhea::core {
+namespace {
+
+std::vector<std::uint8_t> random_message(util::Xoshiro256& rng, std::size_t n) {
+  std::vector<std::uint8_t> msg(n);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+  return msg;
+}
+
+TEST(Frame, SealOpenRoundTrip) {
+  util::Xoshiro256 rng(1);
+  const Key key = Key::random(rng, 8);
+  for (std::size_t len : {0u, 1u, 5u, 100u}) {
+    const auto msg = random_message(rng, len);
+    const auto framed = seal(msg, key, 0xACE1);
+    EXPECT_EQ(open(framed, key), msg) << len;
+  }
+}
+
+TEST(Frame, RoundTripAllParamCombos) {
+  util::Xoshiro256 rng(2);
+  for (int bits : {16, 32, 64}) {
+    for (auto policy : {FramePolicy::continuous, FramePolicy::framed}) {
+      const BlockParams params{bits, policy};
+      const Key key = Key::random(rng, 4, params);
+      const auto msg = random_message(rng, 40);
+      const auto framed = seal(msg, key, 0x77, params);
+      EXPECT_EQ(open(framed, key), msg) << bits;
+      // Header survives the trip.
+      std::span<const std::uint8_t> payload;
+      const FrameHeader h = frame_decode(framed, &payload);
+      EXPECT_EQ(h.params, params);
+      EXPECT_EQ(h.message_bits, msg.size() * 8);
+    }
+  }
+}
+
+TEST(Frame, HeaderLayoutIsStable) {
+  const Key key = Key::parse("0-3");
+  const std::vector<std::uint8_t> msg = {0xAA};
+  const auto framed = seal(msg, key, 1);
+  ASSERT_GE(framed.size(), FrameHeader::kSize);
+  EXPECT_EQ(framed[0], 'M');
+  EXPECT_EQ(framed[1], 'H');
+  EXPECT_EQ(framed[2], 'E');
+  EXPECT_EQ(framed[3], 'A');
+  EXPECT_EQ(framed[4], 1);    // version
+  EXPECT_EQ(framed[8], 8);    // 8 bits, little-endian u64
+  EXPECT_EQ(framed[9], 0);
+}
+
+TEST(Frame, RejectsBadMagicVersionReserved) {
+  const Key key = Key::parse("0-3");
+  const std::vector<std::uint8_t> msg = {0x42};
+  auto framed = seal(msg, key, 1);
+
+  auto corrupt = framed;
+  corrupt[0] = 'X';
+  EXPECT_THROW((void)open(corrupt, key), std::invalid_argument);
+
+  corrupt = framed;
+  corrupt[4] = 9;
+  EXPECT_THROW((void)open(corrupt, key), std::invalid_argument);
+
+  corrupt = framed;
+  corrupt[6] = 1;
+  EXPECT_THROW((void)open(corrupt, key), std::invalid_argument);
+}
+
+TEST(Frame, RejectsShortAndMisalignedBuffers) {
+  const Key key = Key::parse("0-3");
+  EXPECT_THROW((void)open(std::vector<std::uint8_t>(8, 0), key), std::invalid_argument);
+  auto framed = seal(std::vector<std::uint8_t>{0x42}, key, 1);
+  framed.push_back(0);  // breaks 2-byte block alignment
+  EXPECT_THROW((void)open(framed, key), std::invalid_argument);
+}
+
+TEST(Frame, RejectsInconsistentLength) {
+  const Key key = Key::parse("0-3");
+  auto framed = seal(std::vector<std::uint8_t>{0x42}, key, 1);
+  // Claim a message far larger than the payload could carry.
+  framed[8] = 0xFF;
+  framed[9] = 0xFF;
+  EXPECT_THROW((void)open(framed, key), std::invalid_argument);
+  // Claim zero bits while blocks are present.
+  framed[8] = 0;
+  framed[9] = 0;
+  EXPECT_THROW((void)open(framed, key), std::invalid_argument);
+}
+
+TEST(Frame, TruncatedPayloadThrows) {
+  util::Xoshiro256 rng(3);
+  const Key key = Key::random(rng, 4);
+  const auto msg = random_message(rng, 50);
+  auto framed = seal(msg, key, 0xACE1);
+  framed.resize(framed.size() - 2);  // drop the last block, keep alignment
+  EXPECT_THROW((void)open(framed, key), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mhhea::core

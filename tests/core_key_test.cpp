@@ -1,0 +1,115 @@
+#include "src/core/key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace mhhea::core {
+namespace {
+
+TEST(KeyPair, CanonicalOrdering) {
+  const KeyPair p{5, 2};
+  EXPECT_EQ(p.lo(), 2);
+  EXPECT_EQ(p.hi(), 5);
+  EXPECT_EQ(p.span(), 3);
+  const KeyPair q{3, 3};
+  EXPECT_EQ(q.lo(), 3);
+  EXPECT_EQ(q.hi(), 3);
+  EXPECT_EQ(q.span(), 0);
+}
+
+TEST(Key, ConstructValidates) {
+  EXPECT_NO_THROW(Key({KeyPair{0, 7}}));
+  EXPECT_THROW(Key({}), std::invalid_argument);
+  EXPECT_THROW(Key({KeyPair{0, 8}}), std::invalid_argument);  // value > 7 for N=16
+  EXPECT_THROW(Key(std::vector<KeyPair>(17, KeyPair{0, 1})), std::invalid_argument);
+  // Larger values are legal for larger vectors.
+  EXPECT_NO_THROW(Key({KeyPair{0, 15}}, BlockParams{32, FramePolicy::continuous}));
+  EXPECT_THROW(Key({KeyPair{0, 16}}, BlockParams{32, FramePolicy::continuous}),
+               std::invalid_argument);
+}
+
+TEST(Key, ParseToStringRoundTrip) {
+  const Key k = Key::parse("0-3, 2-5,7-1");
+  EXPECT_EQ(k.size(), 3);
+  EXPECT_EQ(k.pair(0), (KeyPair{0, 3}));
+  EXPECT_EQ(k.pair(1), (KeyPair{2, 5}));
+  EXPECT_EQ(k.pair(2), (KeyPair{7, 1}));  // raw order preserved
+  EXPECT_EQ(Key::parse(k.to_string()), k);
+}
+
+TEST(Key, ParseRejectsMalformed) {
+  EXPECT_THROW((void)Key::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Key::parse("0"), std::invalid_argument);
+  EXPECT_THROW((void)Key::parse("0-"), std::invalid_argument);
+  EXPECT_THROW((void)Key::parse("-3"), std::invalid_argument);
+  EXPECT_THROW((void)Key::parse("0-9"), std::invalid_argument);  // out of range
+  EXPECT_THROW((void)Key::parse("a-b"), std::invalid_argument);
+}
+
+TEST(Key, BytesRoundTrip) {
+  const Key k = Key::parse("0-3,2-5,7-1,6-6");
+  const auto bytes = k.to_bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x30);  // first | second<<4
+  EXPECT_EQ(Key::from_bytes(bytes), k);
+}
+
+TEST(Key, RoundRobinPairSelection) {
+  const Key k = Key::parse("0-1,2-3,4-5");
+  EXPECT_EQ(k.pair_for_block(0), k.pair(0));
+  EXPECT_EQ(k.pair_for_block(1), k.pair(1));
+  EXPECT_EQ(k.pair_for_block(2), k.pair(2));
+  EXPECT_EQ(k.pair_for_block(3), k.pair(0));  // the algorithm's i mod L
+  EXPECT_EQ(k.pair_for_block(300000007ull), k.pair(300000007ull % 3));
+}
+
+TEST(Key, RandomKeysAreInRangeAndVary) {
+  util::Xoshiro256 rng(7);
+  const Key a = Key::random(rng, 16);
+  const Key b = Key::random(rng, 16);
+  EXPECT_EQ(a.size(), 16);
+  for (const auto& p : a.pairs()) {
+    EXPECT_LE(p.first, 7);
+    EXPECT_LE(p.second, 7);
+  }
+  EXPECT_NE(a, b);  // 2^96 chance of collision
+  EXPECT_THROW((void)Key::random(rng, 0), std::invalid_argument);
+  EXPECT_THROW((void)Key::random(rng, 17), std::invalid_argument);
+}
+
+TEST(Key, RandomRespectsGeneralizedRange) {
+  util::Xoshiro256 rng(7);
+  const BlockParams p32{32, FramePolicy::continuous};
+  const Key k = Key::random(rng, 8, p32);
+  bool saw_large = false;
+  for (const auto& p : k.pairs()) {
+    EXPECT_LE(p.first, 15);
+    EXPECT_LE(p.second, 15);
+    saw_large = saw_large || p.first > 7 || p.second > 7;
+  }
+  EXPECT_TRUE(saw_large);  // statistically certain with 16 draws
+}
+
+TEST(BlockParamsTest, DerivedGeometry) {
+  const BlockParams paper = BlockParams::paper();
+  EXPECT_EQ(paper.vector_bits, 16);
+  EXPECT_EQ(paper.half(), 8);
+  EXPECT_EQ(paper.loc_bits(), 3);
+  EXPECT_EQ(paper.max_key_value(), 7);
+  EXPECT_EQ(paper.block_bytes(), 2);
+
+  const BlockParams p64{64, FramePolicy::framed};
+  EXPECT_EQ(p64.half(), 32);
+  EXPECT_EQ(p64.loc_bits(), 5);
+  EXPECT_EQ(p64.block_bytes(), 8);
+
+  BlockParams bad;
+  bad.vector_bits = 24;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mhhea::core

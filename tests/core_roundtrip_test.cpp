@@ -1,0 +1,217 @@
+// End-to-end encrypt/decrypt properties of the MHHEA library: round-trips
+// across policies, vector sizes, key sizes and message lengths; nonce
+// independence; steganography mode; failure injection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/cover.hpp"
+#include "src/core/key.hpp"
+#include "src/core/mhhea.hpp"
+#include "src/util/rng.hpp"
+
+namespace mhhea::core {
+namespace {
+
+std::vector<std::uint8_t> random_message(util::Xoshiro256& rng, std::size_t n) {
+  std::vector<std::uint8_t> msg(n);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+  return msg;
+}
+
+using Case = std::tuple<int /*vector_bits*/, FramePolicy, int /*key pairs*/, int /*msg len*/>;
+
+class RoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RoundTrip, DecryptRecoversMessage) {
+  const auto [bits, policy, n_pairs, msg_len] = GetParam();
+  const BlockParams params{bits, policy};
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(bits) * 1000003 +
+                       static_cast<std::uint64_t>(n_pairs) * 131 +
+                       static_cast<std::uint64_t>(msg_len));
+  const Key key = Key::random(rng, n_pairs, params);
+  const auto msg = random_message(rng, static_cast<std::size_t>(msg_len));
+  const std::uint64_t seed = 0xACE1;
+
+  const auto cipher = encrypt(msg, key, seed, params);
+  // Expansion: every block carries at least 1 and at most half() bits.
+  if (!msg.empty()) {
+    EXPECT_GE(cipher.size(), msg.size() * 2u);
+  }
+  const auto back = decrypt(cipher, key, msg.size(), params);
+  EXPECT_EQ(back, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundTrip,
+    ::testing::Combine(::testing::Values(16, 32, 64),
+                       ::testing::Values(FramePolicy::continuous, FramePolicy::framed),
+                       ::testing::Values(1, 2, 16),
+                       ::testing::Values(0, 1, 2, 3, 4, 15, 16, 17, 64, 1000)),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "N" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == FramePolicy::continuous ? "Cont" : "Framed") +
+             "K" + std::to_string(std::get<2>(info.param)) + "Len" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(RoundTripEdge, EmptyMessageProducesNoBlocks) {
+  const Key key = Key::parse("0-3");
+  const auto cipher = encrypt({}, key, 1);
+  EXPECT_TRUE(cipher.empty());
+  EXPECT_TRUE(decrypt(cipher, key, 0).empty());
+}
+
+TEST(RoundTripEdge, DecryptDoesNotNeedTheSeed) {
+  // The seed is a nonce: Decryptor is constructed from key + length only.
+  util::Xoshiro256 rng(5);
+  const Key key = Key::random(rng, 4);
+  const auto msg = random_message(rng, 64);
+  for (std::uint64_t seed : {0x1ull, 0xACE1ull, 0xFFFFull, 0x1234ull}) {
+    const auto cipher = encrypt(msg, key, seed);
+    EXPECT_EQ(decrypt(cipher, key, msg.size()), msg) << seed;
+  }
+}
+
+TEST(RoundTripEdge, DifferentSeedsGiveDifferentCiphertext) {
+  util::Xoshiro256 rng(6);
+  const Key key = Key::random(rng, 4);
+  const auto msg = random_message(rng, 64);
+  EXPECT_NE(encrypt(msg, key, 0x1111), encrypt(msg, key, 0x2222));
+}
+
+TEST(RoundTripEdge, SameInputsAreDeterministic) {
+  util::Xoshiro256 rng(7);
+  const Key key = Key::random(rng, 4);
+  const auto msg = random_message(rng, 64);
+  EXPECT_EQ(encrypt(msg, key, 0xBEEF), encrypt(msg, key, 0xBEEF));
+}
+
+TEST(RoundTripEdge, WrongKeyGarblesMessage) {
+  util::Xoshiro256 rng(8);
+  const Key key = Key::parse("0-3,2-5,7-1,4-4");
+  const Key wrong = Key::parse("1-3,2-5,7-1,4-4");
+  const auto msg = random_message(rng, 256);
+  const auto cipher = encrypt(msg, key, 0xACE1);
+  // Wrong key may even misparse block widths; any path must NOT yield msg.
+  try {
+    const auto back = decrypt(cipher, wrong, msg.size());
+    EXPECT_NE(back, msg);
+  } catch (const std::invalid_argument&) {
+    SUCCEED();  // ran out of blocks — also an acceptable failure mode
+  }
+}
+
+TEST(RoundTripEdge, TruncatedCiphertextThrows) {
+  util::Xoshiro256 rng(9);
+  const Key key = Key::random(rng, 4);
+  const auto msg = random_message(rng, 64);
+  auto cipher = encrypt(msg, key, 0xACE1);
+  cipher.resize(cipher.size() / 2);
+  cipher.resize(cipher.size() & ~std::size_t{1});  // keep block alignment
+  EXPECT_THROW((void)decrypt(cipher, key, msg.size()), std::invalid_argument);
+}
+
+TEST(RoundTripEdge, MisalignedCiphertextThrows) {
+  const Key key = Key::parse("0-3");
+  std::vector<std::uint8_t> cipher(3, 0);  // not a multiple of block_bytes
+  EXPECT_THROW((void)decrypt(cipher, key, 1), std::invalid_argument);
+}
+
+TEST(RoundTripEdge, PolicyMismatchCorruptsBeyondFirstFrame) {
+  // Continuous vs framed differ once a frame boundary truncates a block, so
+  // decrypting framed ciphertext with continuous accounting must diverge for
+  // messages long enough to cross a frame.
+  util::Xoshiro256 rng(10);
+  const Key key = Key::parse("0-7");  // wide pair: blocks usually carry >4 bits
+  const auto msg = random_message(rng, 64);
+  const BlockParams framed{16, FramePolicy::framed};
+  const BlockParams cont{16, FramePolicy::continuous};
+  const auto cipher = encrypt(msg, key, 0xACE1, framed);
+  bool diverged = false;
+  try {
+    diverged = decrypt(cipher, key, msg.size(), cont) != msg;
+  } catch (const std::invalid_argument&) {
+    diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Steganography, BufferCoverRoundTrip) {
+  // Stego mode: hide the message in "multimedia" cover blocks, recover it
+  // with the key alone (the receiver never needs the cover).
+  util::Xoshiro256 rng(11);
+  const Key key = Key::parse("0-3,2-5");
+  const auto msg = random_message(rng, 32);
+  std::vector<std::uint64_t> cover_blocks(1000);
+  for (auto& b : cover_blocks) b = rng.below(0x10000);
+
+  Encryptor enc(key, std::make_unique<BufferCover>(cover_blocks));
+  enc.feed(msg);
+  // Every stego block differs from its cover only in the low byte.
+  for (std::size_t i = 0; i < enc.blocks().size(); ++i) {
+    EXPECT_EQ(enc.blocks()[i] >> 8, cover_blocks[i] >> 8) << i;
+  }
+  Decryptor dec(key, enc.message_bits());
+  for (std::uint64_t b : enc.blocks()) (void)dec.feed_block(b);
+  ASSERT_TRUE(dec.done());
+  auto back = dec.message();
+  back.resize(msg.size());
+  EXPECT_EQ(back, msg);
+}
+
+TEST(Steganography, ExhaustedCoverThrows) {
+  const Key key = Key::parse("0-0");  // 1 bit per block: needs many blocks
+  std::vector<std::uint64_t> tiny_cover = {0xAAAA, 0xBBBB};
+  Encryptor enc(key, std::make_unique<BufferCover>(tiny_cover));
+  const std::vector<std::uint8_t> msg(16, 0xFF);
+  EXPECT_THROW(enc.feed(msg), std::runtime_error);
+}
+
+TEST(Encryptor, IncrementalFeedMatchesOneShot) {
+  util::Xoshiro256 rng(12);
+  const Key key = Key::random(rng, 8);
+  const auto msg = random_message(rng, 96);
+
+  Encryptor one(key, make_lfsr_cover(16, 0xACE1));
+  one.feed(msg);
+
+  Encryptor inc(key, make_lfsr_cover(16, 0xACE1));
+  inc.feed(std::span(msg).subspan(0, 10));
+  inc.feed(std::span(msg).subspan(10, 50));
+  inc.feed(std::span(msg).subspan(60));
+
+  // Byte-boundary splits preserve the bit stream, so blocks must match.
+  EXPECT_EQ(one.blocks(), inc.blocks());
+}
+
+TEST(Encryptor, RejectsBadConstruction) {
+  const Key key = Key::parse("0-3");
+  EXPECT_THROW(Encryptor(key, nullptr), std::invalid_argument);
+  // Key valid for N=32 but not for N=16.
+  const BlockParams p32{32, FramePolicy::continuous};
+  const Key wide = Key::parse("0-12", p32);
+  EXPECT_THROW(Encryptor(wide, make_lfsr_cover(16, 1), BlockParams::paper()),
+               std::invalid_argument);
+}
+
+TEST(Decryptor, ExtraBlocksAfterDoneAreIgnored) {
+  util::Xoshiro256 rng(13);
+  const Key key = Key::random(rng, 2);
+  const auto msg = random_message(rng, 8);
+  const auto cipher = encrypt(msg, key, 0xACE1);
+  Decryptor dec(key, msg.size() * 8);
+  dec.feed_bytes(cipher);
+  ASSERT_TRUE(dec.done());
+  EXPECT_EQ(dec.feed_block(0xFFFF), 0);
+  auto back = dec.message();
+  back.resize(msg.size());
+  EXPECT_EQ(back, msg);
+}
+
+}  // namespace
+}  // namespace mhhea::core

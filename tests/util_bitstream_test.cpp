@@ -1,0 +1,135 @@
+// Unit tests for the LSB-first bit stream convention (DESIGN.md §3) — the
+// glue between byte files and the bit-oriented cipher.
+#include "src/util/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace mhhea::util {
+namespace {
+
+TEST(BitReader, LsbFirstWithinByte) {
+  const std::array<std::uint8_t, 1> data = {0b10110010};
+  BitReader r(data);
+  // Bit 0 (LSB) must come out first.
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_TRUE(r.eof());
+}
+
+TEST(BitReader, ReadBitsPacksLsbFirst) {
+  const std::array<std::uint8_t, 2> data = {0xD0, 0x48};  // word 0x48D0 LE
+  BitReader r(data);
+  EXPECT_EQ(r.read_bits(16), 0x48D0u);
+  EXPECT_TRUE(r.eof());
+}
+
+TEST(BitReader, PartialReadAtEof) {
+  const std::array<std::uint8_t, 1> data = {0xFF};
+  BitReader r(data);
+  int got = 0;
+  EXPECT_EQ(r.read_bits(5, &got), 0b11111u);
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(r.read_bits(5, &got), 0b111u);  // only 3 left, zero-extended
+  EXPECT_EQ(got, 3);
+  EXPECT_TRUE(r.eof());
+  EXPECT_EQ(r.read_bits(4, &got), 0u);
+  EXPECT_EQ(got, 0);
+}
+
+TEST(BitReader, PeekDoesNotConsume) {
+  const std::array<std::uint8_t, 1> data = {0b101};
+  BitReader r(data);
+  EXPECT_TRUE(r.peek_bit(0));
+  EXPECT_FALSE(r.peek_bit(1));
+  EXPECT_TRUE(r.peek_bit(2));
+  EXPECT_EQ(r.position(), 0u);
+}
+
+TEST(BitReader, RewindRestarts) {
+  const std::array<std::uint8_t, 1> data = {0x81};
+  BitReader r(data);
+  (void)r.read_bits(8);
+  EXPECT_TRUE(r.eof());
+  r.rewind();
+  EXPECT_EQ(r.read_bits(8), 0x81u);
+}
+
+TEST(BitWriter, RoundTripWithReader) {
+  Xoshiro256 rng(42);
+  BitWriter w;
+  std::vector<bool> bits;
+  for (int i = 0; i < 1000; ++i) {
+    const bool b = rng.chance(0.5);
+    bits.push_back(b);
+    w.write_bit(b);
+  }
+  EXPECT_EQ(w.size_bits(), 1000u);
+  const auto bytes = w.bytes();
+  EXPECT_EQ(bytes.size(), 125u);
+  BitReader r(bytes);
+  for (bool b : bits) EXPECT_EQ(r.read_bit(), b);
+}
+
+TEST(BitWriter, WriteBitsMatchesBitByBit) {
+  BitWriter a, b;
+  a.write_bits(0xCA06, 16);
+  for (int i = 0; i < 16; ++i) b.write_bit(((0xCA06 >> i) & 1) != 0);
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(BitWriter, AlignToBytePadsWithZeros) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  w.align_to_byte();
+  EXPECT_EQ(w.size_bits(), 8u);
+  EXPECT_EQ(w.bytes().at(0), 0b101);
+}
+
+TEST(BitWriter, TakeResets) {
+  BitWriter w;
+  w.write_bits(0xAB, 8);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.size_bits(), 0u);
+}
+
+TEST(Words16, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x34, 0x12, 0xCD, 0xAB, 0x99};
+  const auto words = to_words16(bytes);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], 0x1234u);  // little-endian pairs
+  EXPECT_EQ(words[1], 0xABCDu);
+  EXPECT_EQ(words[2], 0x0099u);  // zero-padded tail
+  EXPECT_EQ(from_words16(words, bytes.size()), bytes);
+}
+
+TEST(Words16, EmptyInput) {
+  EXPECT_TRUE(to_words16({}).empty());
+  EXPECT_TRUE(from_words16({}, 0).empty());
+}
+
+TEST(Words16, PaperPlaintextWordOrder) {
+  // The simulation loads "ABCD1234": as a little-endian 32-bit value its
+  // low word 0x1234 is the first frame ("the least significant 16 bits are
+  // placed in the buffer", §IV).
+  const std::vector<std::uint8_t> bytes = {0x34, 0x12, 0xCD, 0xAB};
+  const auto words = to_words16(bytes);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], 0x1234u);
+  EXPECT_EQ(words[1], 0xABCDu);
+}
+
+}  // namespace
+}  // namespace mhhea::util

@@ -1,0 +1,56 @@
+#include "src/util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mhhea::util {
+namespace {
+
+TEST(Hex, ToHexPadding) {
+  EXPECT_EQ(to_hex(0xABCD1234, 8), "ABCD1234");  // the paper's plaintext
+  EXPECT_EQ(to_hex(0xCA06, 4), "CA06");          // the paper's hiding vector
+  EXPECT_EQ(to_hex(0x2, 4), "0002");
+  EXPECT_EQ(to_hex(0, 1), "0");
+}
+
+TEST(Hex, ToBin) {
+  EXPECT_EQ(to_bin(0b010, 3), "010");  // the paper's "010b" scramble field
+  EXPECT_EQ(to_bin(5, 3), "101");
+  EXPECT_EQ(to_bin(0, 4), "0000");
+  EXPECT_EQ(to_bin(0xCA, 8), "11001010");
+}
+
+TEST(Hex, ParseHexRoundTrip) {
+  EXPECT_EQ(parse_hex("CA06"), 0xCA06u);
+  EXPECT_EQ(parse_hex("0xca06"), 0xCA06u);
+  EXPECT_EQ(parse_hex("0"), 0u);
+  EXPECT_EQ(parse_hex("FFFFFFFFFFFFFFFF"), ~std::uint64_t{0});
+}
+
+TEST(Hex, ParseHexRejectsJunk) {
+  EXPECT_THROW((void)parse_hex(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex("0x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex("G1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex("11112222333344445"), std::invalid_argument);
+}
+
+TEST(Hex, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+  EXPECT_EQ(bytes_to_hex(bytes), "DEADBEEF00");
+  EXPECT_EQ(hex_to_bytes("DEADBEEF00"), bytes);
+  EXPECT_EQ(hex_to_bytes("deadbeef00"), bytes);
+}
+
+TEST(Hex, BytesRejectsOddLength) {
+  EXPECT_THROW((void)hex_to_bytes("ABC"), std::invalid_argument);
+  EXPECT_THROW((void)hex_to_bytes("ZZ"), std::invalid_argument);
+}
+
+TEST(Hex, EmptyBytes) {
+  EXPECT_EQ(bytes_to_hex({}), "");
+  EXPECT_TRUE(hex_to_bytes("").empty());
+}
+
+}  // namespace
+}  // namespace mhhea::util
