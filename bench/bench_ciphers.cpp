@@ -1,0 +1,224 @@
+// Benchmark harness: sweep every registry cipher across message sizes and
+// thread counts, and emit BENCH_ciphers.json — the repo's reproduction of
+// the paper's Table 1 throughput comparison, plus the batch-scaling axis the
+// ROADMAP's "as fast as the hardware allows" goal needs a baseline for.
+//
+// Method: for each (cipher, msg_bytes, threads) cell, encrypt a batch of
+// independent messages (total plaintext ~ kTargetBatchBytes) repeatedly;
+// each repetition is one RunningStats sample of MB/s. The JSON records the
+// mean/max/stddev throughput, the measured expansion factor, and the
+// per-block latency. A decrypt round-trip of the first message guards
+// against benchmarking a broken configuration.
+//
+// Usage: bench_ciphers [--out FILE] [--quick]
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/crypto/batch.hpp"
+#include "src/crypto/registry.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using mhhea::crypto::CipherRegistry;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kCipherSeed = 0xB0A710ADULL;  // registry key/nonce seed
+constexpr std::size_t kTargetBatchBytes = 1 << 20;    // ~1 MiB plaintext per batch
+
+struct CellResult {
+  std::string cipher;
+  std::size_t msg_bytes = 0;
+  int threads = 0;
+  std::size_t batch_size = 0;
+  std::size_t reps = 0;
+  double mb_per_s_mean = 0.0;
+  double mb_per_s_max = 0.0;
+  double mb_per_s_stddev = 0.0;
+  double expansion = 0.0;
+  double ns_per_block = 0.0;
+};
+
+void cell_fill(CellResult& cell, const std::string& name, std::size_t msg_bytes,
+               int threads, std::size_t batch_size, std::size_t reps) {
+  cell.cipher = name;
+  cell.msg_bytes = msg_bytes;
+  cell.threads = threads;
+  cell.batch_size = batch_size;
+  cell.reps = reps;
+}
+
+std::vector<std::vector<std::uint8_t>> make_messages(std::size_t msg_bytes,
+                                                     std::size_t batch_size) {
+  mhhea::util::Xoshiro256 rng(msg_bytes * 1000003 + batch_size);
+  std::vector<std::vector<std::uint8_t>> msgs(batch_size);
+  for (auto& m : msgs) {
+    m.resize(msg_bytes);
+    for (auto& b : m) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return msgs;
+}
+
+/// Measure one (cipher, msg_bytes) pair at every thread count, interleaving
+/// the repetitions across thread counts so clock drift and cache warm-up
+/// bias no single column. Returns one cell per thread count.
+std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes,
+                                  const std::vector<int>& thread_counts,
+                                  std::size_t reps) {
+  const std::size_t batch_size =
+      std::max<std::size_t>(kTargetBatchBytes / std::max<std::size_t>(msg_bytes, 1),
+                            static_cast<std::size_t>(thread_counts.back()) * 4);
+  const auto msgs = make_messages(msg_bytes, batch_size);
+  const auto maker = [&] { return CipherRegistry::builtin().make(name, kCipherSeed); };
+
+  // Correctness guard + warm-up: round-trip the first message once.
+  {
+    auto cipher = maker();
+    const auto ct = cipher->encrypt(msgs[0]);
+    if (cipher->decrypt(ct, msgs[0].size()) != msgs[0]) {
+      throw std::runtime_error("bench: " + name + " failed its round-trip check");
+    }
+  }
+
+  std::vector<CellResult> cells(thread_counts.size());
+  std::vector<mhhea::util::RunningStats> mbps(thread_counts.size());
+  std::vector<mhhea::util::RunningStats> nspb(thread_counts.size());
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    cell_fill(cells[t], name, msg_bytes, thread_counts[t], batch_size, reps);
+  }
+  const double plain_mb =
+      static_cast<double>(msg_bytes) * static_cast<double>(batch_size) / 1.0e6;
+  // Per-block latency denominator (for YAEA-S a "block" is one keystream
+  // byte).
+  const double block_bytes = name == "YAEA-S" ? 1.0 : 2.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+      const auto t0 = Clock::now();
+      const auto cts = mhhea::crypto::encrypt_batch(maker, msgs, thread_counts[t]);
+      const auto t1 = Clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      mbps[t].add(plain_mb / secs);
+      std::size_t cipher_bytes_total = 0;
+      for (const auto& ct : cts) cipher_bytes_total += ct.size();
+      nspb[t].add(secs * 1.0e9 * block_bytes / static_cast<double>(cipher_bytes_total));
+      cells[t].expansion =
+          static_cast<double>(cipher_bytes_total) /
+          (static_cast<double>(msg_bytes) * static_cast<double>(batch_size));
+    }
+  }
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    cells[t].mb_per_s_mean = mbps[t].mean();
+    cells[t].mb_per_s_max = mbps[t].max();
+    cells[t].mb_per_s_stddev = mbps[t].stddev();
+    cells[t].ns_per_block = nspb[t].mean();
+  }
+  return cells;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<CellResult>& cells,
+                int max_threads) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"bench\": \"ciphers\",\n";
+  os << "  \"seed\": " << kCipherSeed << ",\n";
+  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"max_threads\": " << max_threads << ",\n";
+  // Aggregate batch scaling per cipher: total best-rep throughput across
+  // message sizes at max_threads over the same at one thread. ~1.0 on a
+  // single-core host (parity is the physical ceiling there), > 1 with
+  // real cores.
+  os << "  \"batch_speedup\": {";
+  {
+    std::map<std::string, std::array<double, 2>> sums;
+    for (const auto& c : cells) {
+      sums[c.cipher][c.threads == 1 ? 0 : 1] += c.mb_per_s_max;
+    }
+    bool first = true;
+    for (const auto& [name, s] : sums) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": "
+         << (s[0] > 0.0 ? s[1] / s[0] : 0.0);
+      first = false;
+    }
+  }
+  os << "},\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    os << "    {\"cipher\": \"" << json_escape(c.cipher) << "\", \"msg_bytes\": "
+       << c.msg_bytes << ", \"threads\": " << c.threads << ", \"batch_size\": "
+       << c.batch_size << ", \"reps\": " << c.reps << ", \"mb_per_s_mean\": "
+       << c.mb_per_s_mean << ", \"mb_per_s_max\": " << c.mb_per_s_max
+       << ", \"mb_per_s_stddev\": " << c.mb_per_s_stddev << ", \"expansion\": "
+       << c.expansion << ", \"ns_per_block\": " << c.ns_per_block << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("bench: cannot write " + path);
+  f << os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string out_path = "BENCH_ciphers.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::cerr << "usage: bench_ciphers [--out FILE] [--quick]\n";
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  // The multi-thread column: the machine's core count, or 2 on a single-core
+  // box so the batch path is still exercised.
+  const int max_threads = hw > 1 ? static_cast<int>(hw) : 2;
+  const std::vector<std::size_t> sizes = {64, 1024, 16384};
+  const std::size_t reps = quick ? 2 : 9;
+
+  std::vector<CellResult> cells;
+  for (const auto& name : CipherRegistry::builtin().names()) {
+    for (std::size_t msg_bytes : sizes) {
+      for (auto& cell : run_cells(name, msg_bytes, {1, max_threads}, reps)) {
+        std::cout << cell.cipher << " msg=" << cell.msg_bytes << "B threads="
+                  << cell.threads << " batch=" << cell.batch_size << ": "
+                  << cell.mb_per_s_mean << " MB/s (max " << cell.mb_per_s_max
+                  << ", sd " << cell.mb_per_s_stddev << "), expansion "
+                  << cell.expansion << ", " << cell.ns_per_block << " ns/block\n";
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  write_json(out_path, cells, max_threads);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_ciphers: " << e.what() << "\n";
+  return 1;
+}

@@ -10,16 +10,20 @@ namespace mhhea::core {
 namespace {
 
 /// Apply f(range, probability) for every scramble-field value of this pair.
+/// The field is the loc_bits-wide wrapped window scramble_range reads, so
+/// enumeration costs 2^loc_bits regardless of the pair's span.
 template <typename F>
 void for_each_range(const KeyPair& pair, const BlockParams& params, F&& f) {
-  const int d = pair.span();
-  const int field_bits = d + 1;
-  const std::uint64_t n_fields = std::uint64_t{1} << field_bits;
-  const double p = 1.0 / static_cast<double>(n_fields);
+  const int lb = params.loc_bits();
   const int h = params.half();
+  const std::uint64_t n_fields = std::uint64_t{1} << lb;
+  const double p = 1.0 / static_cast<double>(n_fields);
   for (std::uint64_t field = 0; field < n_fields; ++field) {
     // Rebuild a vector whose scramble window holds `field`; other bits 0.
-    const std::uint64_t v = field << (pair.lo() + h);
+    std::uint64_t v = 0;
+    for (int j = 0; j < lb; ++j) {
+      v |= util::get_bit(field, j) << ((pair.lo() + j) % h + h);
+    }
     const ScrambledRange r = scramble_range(v, pair, params);
     f(r, p);
   }

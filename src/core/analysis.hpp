@@ -16,7 +16,7 @@ namespace mhhea::core {
 
 /// Exact expected number of message bits embedded per block for one key
 /// pair, averaging over a uniform scramble field (what a maximal-length LFSR
-/// delivers asymptotically). Enumerates all 2^(d+1) field values.
+/// delivers asymptotically). Enumerates all 2^loc_bits field values.
 [[nodiscard]] double expected_bits_per_block(const KeyPair& pair,
                                              const BlockParams& params = BlockParams::paper());
 

@@ -16,12 +16,21 @@ ScrambledRange scramble_range(std::uint64_t v, const KeyPair& pair,
   const int h = params.half();
   const int lo = pair.lo();
   const int d = pair.span();
+  const int lb = params.loc_bits();
   assert(pair.hi() <= params.max_key_value());
-  // The scramble field V[K2+H .. K1+H]: d+1 bits with its LSB at K1+H.
-  const std::uint64_t field = extract(v, pair.hi() + h, lo + h);
-  // XOR with K1, reduce into the location space (the paper's "mod 8").
-  const int kn1 = static_cast<int>((field ^ static_cast<std::uint64_t>(lo)) &
-                                   mask64(params.loc_bits()));
+  // The scramble field: loc_bits bits of V's high half starting at K1+H and
+  // wrapping within the high half — bit j is V[(K1+j) mod H + H]. A fixed
+  // loc_bits-wide read keeps KN1 uniform for every pair; the naive (d+1)-bit
+  // window of the paper's §II prose under-scrambles narrow pairs
+  // (d+1 < log2 H), which breaks both the Table-1 rate model and the
+  // location-flatness property. For d+1 >= log2 H and K1 <= H - log2 H the
+  // two readings are bit-identical (the mod-H reduction discards the rest),
+  // so the Fig. 8 worked example is unchanged.
+  std::uint64_t field = 0;
+  for (int j = 0; j < lb; ++j) {
+    field |= get_bit(v, (lo + j) % h + h) << j;
+  }
+  const int kn1 = static_cast<int>(field ^ static_cast<std::uint64_t>(lo));
   const int kn2 = (kn1 + d) % h;
   return kn1 <= kn2 ? ScrambledRange{kn1, kn2} : ScrambledRange{kn2, kn1};
 }

@@ -3,10 +3,13 @@
 //
 // Paper §II, resolved against the Fig. 8 worked example (DESIGN.md §3):
 //   1. canonicalise the key pair: K1 <= K2, d = K2 - K1;
-//   2. scramble the location: the (d+1)-bit field V[K2+H .. K1+H] (H = N/2)
-//      is XORed with K1 and reduced mod H -> KN1; KN2 = (KN1 + d) mod H;
-//      canonicalise KN1 <= KN2 (a wrap changes the range width — both sides
-//      of the channel recompute it identically);
+//   2. scramble the location: the log2(H)-bit field read from V's high half
+//      starting at K1+H (bit j = V[(K1+j) mod H + H], H = N/2) is XORed
+//      with K1 -> KN1; KN2 = (KN1 + d) mod H; canonicalise KN1 <= KN2 (a
+//      wrap changes the range width — both sides of the channel recompute
+//      it identically). The fixed-width read generalises the paper's
+//      (d+1)-bit window so KN1 stays uniform for narrow pairs too (see
+//      scramble_range in block.cpp);
 //   3. scramble the data: message bit t lands in V[KN1+t], XORed with bit
 //      (t mod 3) of K1 (t mod loc_bits in the generalized variant).
 // Only the low half of V is ever written; the high half — the scramble

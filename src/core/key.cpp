@@ -3,6 +3,7 @@
 #include <cctype>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "src/util/rng.hpp"
 
@@ -64,6 +65,15 @@ Key Key::random(util::Xoshiro256& rng, int n_pairs, const BlockParams& params) {
                             static_cast<std::uint8_t>(rng.below(max_v + 1))});
   }
   return Key(std::move(pairs), params);
+}
+
+void Key::require_fits(const BlockParams& params, const char* who) const {
+  for (const auto& p : pairs_) {
+    if (p.hi() > params.max_key_value()) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": key value exceeds vector's location space");
+    }
+  }
 }
 
 std::vector<std::uint8_t> Key::to_bytes() const {

@@ -64,6 +64,11 @@ class Key {
 
   [[nodiscard]] std::string to_string() const;
 
+  /// Throw std::invalid_argument (prefixed with `who`) if any pair value
+  /// exceeds params.max_key_value() — a key built for a wider vector must
+  /// not be used with a narrower one. Shared by every encryptor/decryptor.
+  void require_fits(const BlockParams& params, const char* who) const;
+
   [[nodiscard]] int size() const noexcept { return static_cast<int>(pairs_.size()); }
   [[nodiscard]] const KeyPair& pair(int i) const noexcept { return pairs_[static_cast<std::size_t>(i)]; }
   /// The pair used for block index `block` (round-robin, i mod L).

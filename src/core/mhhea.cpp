@@ -12,13 +12,7 @@ Encryptor::Encryptor(Key key, std::unique_ptr<CoverSource> cover, BlockParams pa
     : key_(std::move(key)), cover_(std::move(cover)), params_(params) {
   params_.validate();
   if (cover_ == nullptr) throw std::invalid_argument("Encryptor: null cover source");
-  // Re-validate the key against these params (it may have been built for a
-  // smaller vector).
-  for (const auto& p : key_.pairs()) {
-    if (p.hi() > params_.max_key_value()) {
-      throw std::invalid_argument("Encryptor: key value exceeds vector's location space");
-    }
-  }
+  key_.require_fits(params_, "Encryptor");
 }
 
 void Encryptor::feed(std::span<const std::uint8_t> msg) {
@@ -34,31 +28,98 @@ void Encryptor::feed_bits(util::BitReader& reader, std::size_t n_bits) {
 }
 
 void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bits) {
-  std::size_t remaining = n_bits;
+  if (n_bits == 0) return;
+  const bool framed = params_.policy == FramePolicy::framed;
+
+  // Roll back the re-openable tail: its blocks are replayed ahead of the new
+  // bits so the resulting stream is identical to a single one-shot feed.
+  // Replayed message bits fit one word (a whole frame is <= vector_bits
+  // <= 64 bits; a partial block is < N/2).
+  const std::vector<TailBlock> replay = std::move(tail_);
+  const bool replay_whole_frame = tail_whole_frame_;
+  tail_.clear();
+  tail_whole_frame_ = false;
+  std::uint64_t replay_bits = 0;
+  int replay_n = 0;
+  if (!replay.empty()) {
+    for (const TailBlock& tb : replay) {
+      blocks_.pop_back();
+      --block_index_;
+      msg_bits_ -= static_cast<std::uint64_t>(tb.w);
+      replay_bits |= tb.bits << replay_n;
+      replay_n += tb.w;
+    }
+    if (framed) {
+      if (replay_whole_frame) {
+        frame_remaining_ = 0;  // the short frame re-opens at the right size
+        frame_size_ = 0;
+      } else {
+        frame_remaining_ += replay.front().w;  // re-open the partial block
+        assert(!frame_log_.empty());
+        frame_log_.pop_back();  // keep frame_log_ mirroring the open frame
+      }
+    }
+  }
+
+  std::size_t remaining = static_cast<std::size_t>(replay_n) + n_bits;
+  std::size_t replay_v_idx = 0;
+  TailBlock last{};
+  int last_cap = 0;  // what the final block could have held
   while (remaining > 0) {
     // Framed policy: open a new frame when the previous one is complete.
     // A frame is one alignment-buffer fill: vector_bits message bits
     // (16 for the paper's hardware).
-    if (params_.policy == FramePolicy::framed && frame_remaining_ == 0) {
-      frame_remaining_ = static_cast<int>(
+    if (framed && frame_remaining_ == 0) {
+      frame_size_ = static_cast<int>(
           std::min<std::size_t>(remaining, static_cast<std::size_t>(params_.vector_bits)));
+      frame_remaining_ = frame_size_;
+      frame_log_.clear();
     }
-    const std::uint64_t v = cover_->next_block(params_.vector_bits);
+    const std::uint64_t v = replay_v_idx < replay.size()
+                                ? replay[replay_v_idx++].v
+                                : cover_->next_block(params_.vector_bits);
     const KeyPair& pair = key_.pair_for_block(block_index_);
     const ScrambledRange range = scramble_range(v, pair, params_);
-    const std::size_t cap = params_.policy == FramePolicy::framed
-                                ? static_cast<std::size_t>(frame_remaining_)
-                                : remaining;
-    const int w = static_cast<int>(
-        std::min<std::size_t>(static_cast<std::size_t>(range.width()), cap));
-    int got = 0;
-    const std::uint64_t msg_bits = reader.read_bits(w, &got);
-    assert(got == w);
+    // Capacity: what this block could hold given unlimited message data —
+    // the frame budget caps it in framed mode. A block that ends a feed
+    // below capacity is the re-openable tail.
+    last_cap = framed ? std::min(range.width(), frame_remaining_) : range.width();
+    const int w = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(last_cap), remaining));
+    // Gather w message bits: replayed bits first, then the reader.
+    const int from_replay = std::min(w, replay_n);
+    std::uint64_t msg_bits = replay_bits & util::mask64(from_replay);
+    replay_bits >>= from_replay;
+    replay_n -= from_replay;
+    if (w > from_replay) {
+      int got = 0;
+      msg_bits |= reader.read_bits(w - from_replay, &got) << from_replay;
+      assert(got == w - from_replay);
+    }
     blocks_.push_back(embed_bits(v, range, pair, msg_bits, w, params_));
     ++block_index_;
     msg_bits_ += static_cast<std::uint64_t>(w);
     remaining -= static_cast<std::size_t>(w);
-    if (params_.policy == FramePolicy::framed) frame_remaining_ -= w;
+    last = TailBlock{v, msg_bits, w};
+    if (framed) {
+      frame_remaining_ -= w;
+      frame_log_.push_back(last);
+    }
+  }
+  assert(replay_v_idx == replay.size());
+
+  // Decide what the next feed may re-open.
+  if (framed) {
+    if (frame_size_ < params_.vector_bits) {
+      // The final frame was opened undersized: with more data, a one-shot
+      // encryption would have sized it larger, so the whole frame re-opens.
+      tail_ = frame_log_;
+      tail_whole_frame_ = true;
+    } else if (frame_remaining_ > 0 && last.w < last_cap) {
+      tail_.push_back(last);
+    }
+  } else if (last.w < last_cap) {
+    tail_.push_back(last);
   }
 }
 
@@ -75,11 +136,7 @@ std::vector<std::uint8_t> Encryptor::cipher_bytes() const {
 Decryptor::Decryptor(Key key, std::uint64_t message_bits, BlockParams params)
     : key_(std::move(key)), params_(params), total_bits_(message_bits) {
   params_.validate();
-  for (const auto& p : key_.pairs()) {
-    if (p.hi() > params_.max_key_value()) {
-      throw std::invalid_argument("Decryptor: key value exceeds vector's location space");
-    }
-  }
+  key_.require_fits(params_, "Decryptor");
 }
 
 int Decryptor::feed_block(std::uint64_t block) {

@@ -30,6 +30,13 @@ namespace mhhea::core {
 /// Streaming encryptor. Feed message bytes/bits; collect N-bit ciphertext
 /// blocks. One instance encrypts one message (block index and frame state
 /// are not resettable mid-stream).
+///
+/// Incremental feeds are equivalent to one shot: blocks()/cipher_bytes()
+/// always reflect the ciphertext of the message fed so far *as if it were
+/// complete*. Feeding more data may therefore re-emit the stream's tail —
+/// the final block when it was partially filled (continuous policy), or the
+/// whole final frame when it was opened undersized (framed policy) — with
+/// the same cover vectors but more message bits packed in.
 class Encryptor {
  public:
   /// Takes ownership of the cover source (LFSR for encryption mode, buffer
@@ -52,6 +59,13 @@ class Encryptor {
   [[nodiscard]] const Key& key() const noexcept { return key_; }
 
  private:
+  /// A block that may be rolled back and re-embedded when more data arrives.
+  struct TailBlock {
+    std::uint64_t v = 0;     // cover vector, reused verbatim on re-embed
+    std::uint64_t bits = 0;  // message bits embedded (low `w` bits)
+    int w = 0;
+  };
+
   void encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bits);
 
   Key key_;
@@ -61,6 +75,10 @@ class Encryptor {
   std::uint64_t block_index_ = 0;  // the algorithm's i (before mod L)
   std::uint64_t msg_bits_ = 0;
   int frame_remaining_ = 0;  // framed policy: bits left in the current frame
+  int frame_size_ = 0;       // framed policy: size the current frame opened with
+  std::vector<TailBlock> tail_;       // re-openable tail of the stream
+  bool tail_whole_frame_ = false;     // tail_ spans the whole (short) frame
+  std::vector<TailBlock> frame_log_;  // framed: blocks of the current frame
 };
 
 /// Streaming decryptor: feed ciphertext blocks, collect message bits.

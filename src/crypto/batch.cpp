@@ -1,0 +1,91 @@
+#include "src/crypto/batch.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "src/util/thread_pool.hpp"
+
+namespace mhhea::crypto {
+
+namespace {
+
+int resolve_threads(int n_threads, std::size_t n_items) {
+  if (n_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n_threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  if (n_threads < 1) throw std::invalid_argument("batch: n_threads must be >= 0");
+  if (static_cast<std::size_t>(n_threads) > n_items && n_items > 0) {
+    n_threads = static_cast<int>(n_items);
+  }
+  return n_threads;
+}
+
+/// Run `work(i)` for every i in [0, n_items), either inline or on a pool of
+/// `n_threads` workers pulling indices from a shared atomic counter. Each
+/// worker gets its own cipher via `make_cipher`; the first exception (from
+/// construction or work) is rethrown on the calling thread.
+template <typename Work>
+void run_batch(const CipherMaker& make_cipher, std::size_t n_items, int n_threads,
+               Work&& work) {
+  if (make_cipher == nullptr) throw std::invalid_argument("batch: null cipher maker");
+  n_threads = resolve_threads(n_threads, n_items);
+  if (n_items == 0) return;
+
+  if (n_threads == 1) {
+    auto cipher = make_cipher();
+    for (std::size_t i = 0; i < n_items; ++i) work(*cipher, i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const auto worker = [&] {
+    try {
+      auto cipher = make_cipher();
+      for (std::size_t i = next.fetch_add(1); i < n_items; i = next.fetch_add(1)) {
+        work(*cipher, i);
+      }
+    } catch (...) {
+      std::lock_guard lock(error_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+      // Drain the counter so sibling workers stop picking up new items.
+      next.store(n_items);
+    }
+  };
+
+  util::ThreadPool pool(n_threads);
+  for (int t = 0; t < n_threads; ++t) pool.submit(worker);
+  pool.wait_idle();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> encrypt_batch(
+    const CipherMaker& make_cipher, std::span<const std::vector<std::uint8_t>> msgs,
+    int n_threads) {
+  std::vector<std::vector<std::uint8_t>> out(msgs.size());
+  run_batch(make_cipher, msgs.size(), n_threads,
+            [&](Cipher& cipher, std::size_t i) { out[i] = cipher.encrypt(msgs[i]); });
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> decrypt_batch(
+    const CipherMaker& make_cipher, std::span<const std::vector<std::uint8_t>> ciphers,
+    std::span<const std::size_t> msg_bytes, int n_threads) {
+  if (ciphers.size() != msg_bytes.size()) {
+    throw std::invalid_argument("decrypt_batch: ciphers/msg_bytes length mismatch");
+  }
+  std::vector<std::vector<std::uint8_t>> out(ciphers.size());
+  run_batch(make_cipher, ciphers.size(), n_threads, [&](Cipher& cipher, std::size_t i) {
+    out[i] = cipher.decrypt(ciphers[i], msg_bytes[i]);
+  });
+  return out;
+}
+
+}  // namespace mhhea::crypto

@@ -15,6 +15,7 @@ HheaEncryptor::HheaEncryptor(core::Key key, std::unique_ptr<core::CoverSource> c
     : key_(std::move(key)), cover_(std::move(cover)), params_(params) {
   params_.validate();
   if (cover_ == nullptr) throw std::invalid_argument("HheaEncryptor: null cover source");
+  key_.require_fits(params_, "HheaEncryptor");
 }
 
 void HheaEncryptor::feed(std::span<const std::uint8_t> msg) {
@@ -56,6 +57,7 @@ std::vector<std::uint8_t> HheaEncryptor::cipher_bytes() const {
 HheaDecryptor::HheaDecryptor(core::Key key, std::uint64_t message_bits, BlockParams params)
     : key_(std::move(key)), params_(params), total_bits_(message_bits) {
   params_.validate();
+  key_.require_fits(params_, "HheaDecryptor");
 }
 
 int HheaDecryptor::feed_block(std::uint64_t block) {

@@ -1,0 +1,28 @@
+#include "src/crypto/hhea_cipher.hpp"
+
+#include <utility>
+
+#include "src/core/cover.hpp"
+#include "src/crypto/hhea.hpp"
+
+namespace mhhea::crypto {
+
+HheaCipher::HheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params)
+    : key_(std::move(key)), seed_(seed), params_(params) {
+  HheaEncryptor probe(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_);
+  double mean_bits = 0.0;
+  for (const auto& p : key_.pairs()) mean_bits += static_cast<double>(p.span() + 1);
+  mean_bits /= static_cast<double>(key_.size());
+  expansion_ = static_cast<double>(params_.vector_bits) / mean_bits;
+}
+
+std::vector<std::uint8_t> HheaCipher::encrypt(std::span<const std::uint8_t> msg) {
+  return hhea_encrypt(msg, key_, seed_, params_);
+}
+
+std::vector<std::uint8_t> HheaCipher::decrypt(std::span<const std::uint8_t> cipher,
+                                              std::size_t msg_bytes) {
+  return hhea_decrypt(cipher, key_, msg_bytes, params_);
+}
+
+}  // namespace mhhea::crypto

@@ -1,0 +1,39 @@
+// Cipher adapter for the baseline HHEA (src/crypto/hhea.hpp), mirroring
+// MhheaCipher: one instance = one (key, nonce, params) configuration, each
+// call independent and deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+#include "src/crypto/cipher.hpp"
+
+namespace mhhea::crypto {
+
+class HheaCipher final : public Cipher {
+ public:
+  /// Validates seed, params and key-vs-params eagerly (std::invalid_argument).
+  HheaCipher(core::Key key, std::uint64_t seed,
+             core::BlockParams params = core::BlockParams::paper());
+
+  [[nodiscard]] std::string name() const override { return "HHEA"; }
+  [[nodiscard]] std::vector<std::uint8_t> encrypt(
+      std::span<const std::uint8_t> msg) override;
+  [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
+                                                  std::size_t msg_bytes) override;
+  /// HHEA embeds exactly span+1 bits per block, so the expansion is the
+  /// closed form vector_bits / mean(span_i + 1) — no scramble averaging.
+  [[nodiscard]] double expansion() const override { return expansion_; }
+
+  [[nodiscard]] const core::Key& key() const noexcept { return key_; }
+  [[nodiscard]] const core::BlockParams& params() const noexcept { return params_; }
+
+ private:
+  core::Key key_;
+  std::uint64_t seed_;
+  core::BlockParams params_;
+  double expansion_;
+};
+
+}  // namespace mhhea::crypto

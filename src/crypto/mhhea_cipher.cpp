@@ -1,0 +1,29 @@
+#include "src/crypto/mhhea_cipher.hpp"
+
+#include <utility>
+
+#include "src/core/analysis.hpp"
+#include "src/core/cover.hpp"
+#include "src/core/mhhea.hpp"
+
+namespace mhhea::crypto {
+
+MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params)
+    : key_(std::move(key)), seed_(seed), params_(params) {
+  // Probe construction validates params, seed and key-vs-params eagerly.
+  core::Encryptor probe(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_);
+  expansion_ = core::expected_expansion(key_, params_);
+}
+
+std::vector<std::uint8_t> MhheaCipher::encrypt(std::span<const std::uint8_t> msg) {
+  core::Encryptor enc(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_);
+  enc.feed(msg);
+  return enc.cipher_bytes();
+}
+
+std::vector<std::uint8_t> MhheaCipher::decrypt(std::span<const std::uint8_t> cipher,
+                                               std::size_t msg_bytes) {
+  return core::decrypt(cipher, key_, msg_bytes, params_);
+}
+
+}  // namespace mhhea::crypto

@@ -1,0 +1,47 @@
+// Cipher adapter for the paper's MHHEA (src/core) so the hiding cipher is
+// sweepable through the uniform crypto::Cipher interface alongside HHEA and
+// YAEA-S (Table 1's comparison set).
+//
+// One adapter instance = one (key, nonce, params) configuration. Each
+// encrypt()/decrypt() call builds a fresh streaming Encryptor/Decryptor, so
+// calls are independent and deterministic — the contract the batch API and
+// the equivalence tests rely on (and what makes one instance safely usable
+// from several threads at once).
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+#include "src/crypto/cipher.hpp"
+
+namespace mhhea::crypto {
+
+class MhheaCipher final : public Cipher {
+ public:
+  /// `seed` is the LFSR nonce; must be non-zero in the low LFSR-degree bits
+  /// and `key` must fit `params` — both are validated eagerly
+  /// (std::invalid_argument), so a registry sweep fails at construction, not
+  /// mid-benchmark.
+  MhheaCipher(core::Key key, std::uint64_t seed,
+              core::BlockParams params = core::BlockParams::paper());
+
+  [[nodiscard]] std::string name() const override { return "MHHEA"; }
+  [[nodiscard]] std::vector<std::uint8_t> encrypt(
+      std::span<const std::uint8_t> msg) override;
+  [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
+                                                  std::size_t msg_bytes) override;
+  /// Analytical expected expansion for this key (src/core/analysis.hpp).
+  [[nodiscard]] double expansion() const override { return expansion_; }
+
+  [[nodiscard]] const core::Key& key() const noexcept { return key_; }
+  [[nodiscard]] const core::BlockParams& params() const noexcept { return params_; }
+
+ private:
+  core::Key key_;
+  std::uint64_t seed_;
+  core::BlockParams params_;
+  double expansion_;
+};
+
+}  // namespace mhhea::crypto

@@ -1,0 +1,94 @@
+// A small fixed-size thread pool — the first scaling primitive of the repo.
+//
+// Design: one shared FIFO of std::function tasks, a condition variable per
+// direction (worker wake-up, idle notification). Deliberately minimal: the
+// batch cipher API (src/crypto/batch.hpp) and the benchmark harness submit
+// coarse-grained tasks (whole messages), so a lock-free queue would buy
+// nothing measurable here. Grow it when a profile says so.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mhhea::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (>= 1; throws std::invalid_argument on 0 or
+  /// negative counts).
+  explicit ThreadPool(int n_threads) {
+    if (n_threads < 1) throw std::invalid_argument("ThreadPool: need >= 1 thread");
+    workers_.reserve(static_cast<std::size_t>(n_threads));
+    for (int i = 0; i < n_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Tasks must not throw — a throwing task terminates (the
+  /// batch API wraps user work and routes exceptions back explicitly).
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.push(std::move(task));
+    }
+    wake_workers_.notify_one();
+  }
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle() {
+    std::unique_lock lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu_);
+        wake_workers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop();
+        ++active_;
+      }
+      task();
+      {
+        std::lock_guard lock(mu_);
+        --active_;
+        if (queue_.empty() && active_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mhhea::util

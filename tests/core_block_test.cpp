@@ -125,9 +125,12 @@ TEST(EmbedExtract, InverseForRandomInputs) {
 
 TEST(EmbedBits, PartialWidthLeavesTailBitsUntouched) {
   // Framed mode can embed w < width(); positions kn1+w .. kn2 keep V's bits.
+  // The scramble field of this vector is 000b, so the range is the full
+  // unwrapped [0,7] and w is strictly positive.
   const KeyPair pair{0, 7};
-  const std::uint64_t v = 0xA5C3;
+  const std::uint64_t v = 0xA0C3;
   const ScrambledRange r = scramble_range(v, pair);
+  ASSERT_EQ(r.width(), 8);
   const int w = r.width() - 3;
   const std::uint64_t ct = embed_bits(v, r, pair, 0, w);
   for (int j = r.kn1 + w; j <= r.kn2; ++j) {

@@ -1,0 +1,123 @@
+// Failure-path tests for the engine layer: every documented
+// std::invalid_argument — truncated or misaligned ciphertext, zero LFSR
+// seeds, keys mismatched against vector geometry — must actually throw, at
+// the earliest layer that can detect it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/cover.hpp"
+#include "src/core/key.hpp"
+#include "src/core/mhhea.hpp"
+#include "src/core/params.hpp"
+#include "src/crypto/hhea.hpp"
+#include "src/crypto/hhea_cipher.hpp"
+#include "src/crypto/mhhea_cipher.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace mhhea {
+namespace {
+
+const core::BlockParams kPaper = core::BlockParams::paper();
+const core::BlockParams kWide{32, core::FramePolicy::continuous};
+
+std::vector<std::uint8_t> some_message(std::size_t n) {
+  std::vector<std::uint8_t> msg(n);
+  util::Xoshiro256 rng(n);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+  return msg;
+}
+
+// ---------------------------------------------------------------- zero seed
+
+TEST(ZeroSeed, CoreEncryptThrows) {
+  const core::Key key = core::Key::parse("0-3");
+  EXPECT_THROW((void)core::encrypt(some_message(8), key, 0), std::invalid_argument);
+}
+
+TEST(ZeroSeed, SeedZeroInLowDegreeBitsThrows) {
+  // Only the low `degree` bits seed the LFSR — 0x10000 is effectively zero
+  // for the paper's degree-16 register.
+  EXPECT_THROW(core::LfsrCover(16, 0x10000), std::invalid_argument);
+}
+
+TEST(ZeroSeed, CipherAdaptersThrowAtConstruction) {
+  const core::Key key = core::Key::parse("0-3");
+  EXPECT_THROW(crypto::MhheaCipher(key, 0), std::invalid_argument);
+  EXPECT_THROW(crypto::HheaCipher(key, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- truncated cipher
+
+TEST(TruncatedCiphertext, MhheaAdapterThrows) {
+  const core::Key key = core::Key::parse("0-3,2-5");
+  crypto::MhheaCipher cipher(key, 0xACE1);
+  const auto msg = some_message(64);
+  auto ct = cipher.encrypt(msg);
+  ct.resize(ct.size() / 2 & ~std::size_t{1});  // halve, keep block alignment
+  EXPECT_THROW((void)cipher.decrypt(ct, msg.size()), std::invalid_argument);
+}
+
+TEST(TruncatedCiphertext, HheaAdapterThrows) {
+  const core::Key key = core::Key::parse("0-3,2-5");
+  crypto::HheaCipher cipher(key, 0xACE1);
+  const auto msg = some_message(64);
+  auto ct = cipher.encrypt(msg);
+  ct.resize(ct.size() / 2 & ~std::size_t{1});
+  EXPECT_THROW((void)cipher.decrypt(ct, msg.size()), std::invalid_argument);
+}
+
+TEST(TruncatedCiphertext, MisalignedBufferThrows) {
+  const core::Key key = core::Key::parse("0-3");
+  const std::vector<std::uint8_t> odd(5, 0);  // not a multiple of block_bytes
+  EXPECT_THROW((void)core::decrypt(odd, key, 1), std::invalid_argument);
+  EXPECT_THROW((void)crypto::hhea_decrypt(odd, key, 1), std::invalid_argument);
+}
+
+// -------------------------------------------------- key/params mismatches
+
+TEST(KeyParamsMismatch, WideKeyOnNarrowVectorThrowsEverywhere) {
+  // Legal for N=32 (values up to 15), illegal for the paper's N=16.
+  const core::Key wide = core::Key::parse("0-12", kWide);
+  EXPECT_THROW(core::Encryptor(wide, core::make_lfsr_cover(16, 1), kPaper),
+               std::invalid_argument);
+  EXPECT_THROW(core::Decryptor(wide, 8, kPaper), std::invalid_argument);
+  EXPECT_THROW(crypto::HheaEncryptor(wide, core::make_lfsr_cover(16, 1), kPaper),
+               std::invalid_argument);
+  EXPECT_THROW(crypto::HheaDecryptor(wide, 8, kPaper), std::invalid_argument);
+  EXPECT_THROW(crypto::MhheaCipher(wide, 0xACE1, kPaper), std::invalid_argument);
+  EXPECT_THROW(crypto::HheaCipher(wide, 0xACE1, kPaper), std::invalid_argument);
+}
+
+TEST(KeyParamsMismatch, KeyConstructionRejectsOutOfRangeValues) {
+  EXPECT_THROW(core::Key({core::KeyPair{0, 8}}, kPaper), std::invalid_argument);
+  EXPECT_THROW(core::Key({core::KeyPair{0, 16}}, kWide), std::invalid_argument);
+}
+
+TEST(KeyParamsMismatch, BadVectorSizeRejected) {
+  core::BlockParams bad;
+  bad.vector_bits = 24;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_THROW(core::LfsrCover(24, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- primitives
+
+TEST(ThreadPoolFailure, RejectsNonPositiveSize) {
+  EXPECT_THROW(util::ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(util::ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(EncryptorFailure, FeedBitsBeyondReaderThrows) {
+  const core::Key key = core::Key::parse("0-3");
+  core::Encryptor enc(key, core::make_lfsr_cover(16, 1));
+  const std::vector<std::uint8_t> buf(2, 0xFF);
+  util::BitReader reader(buf);
+  EXPECT_THROW(enc.feed_bits(reader, 17), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mhhea
