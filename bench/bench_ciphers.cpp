@@ -10,10 +10,18 @@
 // per-block latency. A decrypt round-trip of the first message guards
 // against benchmarking a broken configuration.
 //
-// Usage: bench_ciphers [--out FILE] [--quick]
+// Usage: bench_ciphers [--out FILE] [--quick] [--threads N] [--seed S]
+//   --threads N  multi-thread column to sweep alongside 1 (default: hardware
+//                concurrency; the sweep is {1} only on a single-core host —
+//                oversubscribing one core measures scheduler noise, not the
+//                cipher)
+//   --seed S     registry key/nonce derivation seed (decimal or 0x hex), for
+//                reproducible runs
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,8 +41,9 @@ namespace {
 using mhhea::crypto::CipherRegistry;
 using Clock = std::chrono::steady_clock;
 
-constexpr std::uint64_t kCipherSeed = 0xB0A710ADULL;  // registry key/nonce seed
-constexpr std::size_t kTargetBatchBytes = 1 << 20;    // ~1 MiB plaintext per batch
+constexpr std::uint64_t kDefaultCipherSeed = 0xB0A710ADULL;  // registry key/nonce seed
+std::uint64_t g_cipher_seed = kDefaultCipherSeed;
+constexpr std::size_t kTargetBatchBytes = 1 << 20;  // ~1 MiB plaintext per batch
 
 struct CellResult {
   std::string cipher;
@@ -79,7 +88,7 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
       std::max<std::size_t>(kTargetBatchBytes / std::max<std::size_t>(msg_bytes, 1),
                             static_cast<std::size_t>(thread_counts.back()) * 4);
   const auto msgs = make_messages(msg_bytes, batch_size);
-  const auto maker = [&] { return CipherRegistry::builtin().make(name, kCipherSeed); };
+  const auto maker = [&] { return CipherRegistry::builtin().make(name, g_cipher_seed); };
 
   // Correctness guard + warm-up: round-trip the first message once.
   {
@@ -125,6 +134,19 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
   return cells;
 }
 
+/// Strict decimal/0x-hex u64 parse: the whole string must be consumed and
+/// the value must fit — trailing garbage ("4x") and overflow are errors, so
+/// a recorded --seed always reproduces the run.
+bool parse_u64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -140,15 +162,15 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   os.precision(6);
   os << "{\n";
   os << "  \"bench\": \"ciphers\",\n";
-  os << "  \"seed\": " << kCipherSeed << ",\n";
+  os << "  \"seed\": " << g_cipher_seed << ",\n";
   os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
   os << "  \"max_threads\": " << max_threads << ",\n";
   // Aggregate batch scaling per cipher: total best-rep throughput across
-  // message sizes at max_threads over the same at one thread. ~1.0 on a
-  // single-core host (parity is the physical ceiling there), > 1 with
-  // real cores.
+  // message sizes at max_threads over the same at one thread. Only emitted
+  // when a multi-thread column was actually swept — on a single-core host
+  // the sweep is {1} and a "speedup" would be meaningless noise.
   os << "  \"batch_speedup\": {";
-  {
+  if (max_threads > 1) {
     std::map<std::string, std::array<double, 2>> sums;
     for (const auto& c : cells) {
       sums[c.cipher][c.threads == 1 ? 0 : 1] += c.mb_per_s_max;
@@ -183,28 +205,46 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
 int main(int argc, char** argv) try {
   std::string out_path = "BENCH_ciphers.json";
   bool quick = false;
+  int threads_flag = 0;  // 0 = derive from hardware
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      std::uint64_t v = 0;
+      if (!parse_u64(argv[++i], &v) || v < 1 || v > 1024) {
+        std::cerr << "bench_ciphers: --threads must be an integer in [1, 1024]\n";
+        return 2;
+      }
+      threads_flag = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &g_cipher_seed) || g_cipher_seed == 0) {
+        std::cerr << "bench_ciphers: --seed must be a non-zero 64-bit integer\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: bench_ciphers [--out FILE] [--quick]\n";
+      std::cerr << "usage: bench_ciphers [--out FILE] [--quick] [--threads N] [--seed S]\n";
       return 2;
     }
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
-  // The multi-thread column: the machine's core count, or 2 on a single-core
-  // box so the batch path is still exercised.
-  const int max_threads = hw > 1 ? static_cast<int>(hw) : 2;
+  // The multi-thread column, clamped to real parallelism: oversubscribing a
+  // single-core host only measures scheduler noise (the seed run recorded a
+  // meaningless ~0.99 "speedup" for threads=2 on 1 core). --threads
+  // overrides the clamp for deliberate oversubscription experiments.
+  const int max_threads =
+      threads_flag > 0 ? threads_flag : static_cast<int>(hw > 0 ? hw : 1);
+  std::vector<int> thread_counts = {1};
+  if (max_threads > 1) thread_counts.push_back(max_threads);
   const std::vector<std::size_t> sizes = {64, 1024, 16384};
   const std::size_t reps = quick ? 2 : 9;
 
   std::vector<CellResult> cells;
   for (const auto& name : CipherRegistry::builtin().names()) {
     for (std::size_t msg_bytes : sizes) {
-      for (auto& cell : run_cells(name, msg_bytes, {1, max_threads}, reps)) {
+      for (auto& cell : run_cells(name, msg_bytes, thread_counts, reps)) {
         std::cout << cell.cipher << " msg=" << cell.msg_bytes << "B threads="
                   << cell.threads << " batch=" << cell.batch_size << ": "
                   << cell.mb_per_s_mean << " MB/s (max " << cell.mb_per_s_max

@@ -1,5 +1,6 @@
 #include "src/core/cover.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/util/bits.hpp"
@@ -13,8 +14,12 @@ lfsr::Lfsr make_lfsr_for(int bits, std::uint64_t seed) {
 }
 }  // namespace
 
+void CoverSource::reset() {
+  throw std::logic_error("CoverSource: this source is not resettable");
+}
+
 LfsrCover::LfsrCover(int bits, std::uint64_t seed)
-    : lfsr_(make_lfsr_for(bits, seed)), bits_(bits) {
+    : lfsr_(make_lfsr_for(bits, seed)), bits_(bits), seed_(seed) {
   if (bits != 16 && bits != 32 && bits != 64) {
     throw std::invalid_argument("LfsrCover: bits must be 16, 32 or 64");
   }
@@ -29,6 +34,20 @@ std::uint64_t LfsrCover::next_block(int bits) {
   }
   return lfsr_.next_block();
 }
+
+std::size_t LfsrCover::next_blocks(int bits, std::span<std::uint64_t> out) {
+  if (bits != bits_) throw std::invalid_argument("LfsrCover: block width mismatch");
+  if (bits_ == 64) {
+    // Delegate the two-register composition to next_block — one source of
+    // truth for the 64-bit layout (this is the cold configuration).
+    for (std::uint64_t& b : out) b = next_block(bits);
+  } else {
+    lfsr_.next_blocks(out);
+  }
+  return out.size();
+}
+
+void LfsrCover::reset() { lfsr_.set_state(seed_); }
 
 BufferCover::BufferCover(std::vector<std::uint64_t> blocks) : blocks_(std::move(blocks)) {}
 
@@ -48,6 +67,14 @@ std::uint64_t BufferCover::next_block(int bits) {
     throw std::runtime_error("BufferCover: cover data exhausted");
   }
   return blocks_[pos_++] & util::mask64(bits);
+}
+
+std::size_t BufferCover::next_blocks(int bits, std::span<std::uint64_t> out) {
+  const std::size_t n = std::min(out.size(), remaining());
+  const std::uint64_t mask = util::mask64(bits);
+  for (std::size_t i = 0; i < n; ++i) out[i] = blocks_[pos_ + i] & mask;
+  pos_ += n;
+  return n;
 }
 
 std::uint64_t CountingCover::next_block(int bits) {

@@ -26,9 +26,28 @@ namespace mhhea::core {
 class CoverSource {
  public:
   virtual ~CoverSource() = default;
+
   /// The next hiding vector; exactly the low `bits` bits are significant.
   /// Throws std::runtime_error if the source is exhausted (finite covers).
   [[nodiscard]] virtual std::uint64_t next_block(int bits) = 0;
+
+  /// Bulk form of next_block: fill up to out.size() vectors, returning the
+  /// count produced. Finite sources should override this to return fewer
+  /// (possibly 0) at exhaustion instead of throwing — the caller decides
+  /// when running dry is an error (BufferCover does exactly that). The
+  /// default implementation simply loops next_block(), so it fills the
+  /// whole span for infinite sources and propagates next_block()'s
+  /// exhaustion error for finite ones that don't override. The produced
+  /// sequence is identical to repeated next_block() calls.
+  virtual std::size_t next_blocks(int bits, std::span<std::uint64_t> out) {
+    for (std::uint64_t& b : out) b = next_block(bits);
+    return out.size();
+  }
+
+  /// Rewind to the initial state, so a resettable cipher core can reuse one
+  /// source across messages. Sources that cannot rewind throw
+  /// std::logic_error (the default).
+  virtual void reset();
 };
 
 /// Maximal-length LFSR source — the paper's Random Number Generator module.
@@ -40,10 +59,15 @@ class LfsrCover final : public CoverSource {
   /// `seed` must be non-zero (LFSR constraint).
   LfsrCover(int bits, std::uint64_t seed);
   [[nodiscard]] std::uint64_t next_block(int bits) override;
+  std::size_t next_blocks(int bits, std::span<std::uint64_t> out) override;
+  /// Re-seeds the register with the construction seed (the leap tables are
+  /// kept, so resetting is cheap).
+  void reset() override;
 
  private:
   lfsr::Lfsr lfsr_;
   int bits_;
+  std::uint64_t seed_;
 };
 
 /// Finite cover-data source for steganography mode: blocks are consumed from
@@ -55,6 +79,8 @@ class BufferCover final : public CoverSource {
   /// Build 16-bit cover blocks from raw bytes (little-endian pairs).
   [[nodiscard]] static BufferCover from_bytes16(std::span<const std::uint8_t> bytes);
   [[nodiscard]] std::uint64_t next_block(int bits) override;
+  std::size_t next_blocks(int bits, std::span<std::uint64_t> out) override;
+  void reset() override { pos_ = 0; }
   [[nodiscard]] std::size_t remaining() const noexcept { return blocks_.size() - pos_; }
 
  private:
@@ -66,10 +92,12 @@ class BufferCover final : public CoverSource {
 /// contents predictable.
 class CountingCover final : public CoverSource {
  public:
-  explicit CountingCover(std::uint64_t start = 0) noexcept : next_(start) {}
+  explicit CountingCover(std::uint64_t start = 0) noexcept : start_(start), next_(start) {}
   [[nodiscard]] std::uint64_t next_block(int bits) override;
+  void reset() override { next_ = start_; }
 
  private:
+  std::uint64_t start_;
   std::uint64_t next_;
 };
 

@@ -36,7 +36,9 @@ std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
     out[8 + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>((header.message_bits >> (8 * i)) & 0xFF);
   }
-  std::memcpy(out.data() + FrameHeader::kSize, cipher.data(), cipher.size());
+  if (!cipher.empty()) {
+    std::memcpy(out.data() + FrameHeader::kSize, cipher.data(), cipher.size());
+  }
   return out;
 }
 
@@ -49,6 +51,9 @@ FrameHeader frame_decode(std::span<const std::uint8_t> framed,
     throw std::invalid_argument("frame: bad magic");
   }
   if (framed[4] != kVersion) throw std::invalid_argument("frame: unsupported version");
+  if ((framed[5] & ~0x07) != 0) {
+    throw std::invalid_argument("frame: reserved flag bits must be zero");
+  }
   if (framed[6] != 0 || framed[7] != 0) {
     throw std::invalid_argument("frame: reserved bytes must be zero");
   }
@@ -91,8 +96,7 @@ std::vector<std::uint8_t> seal(std::span<const std::uint8_t> msg, const Key& key
   FrameHeader h;
   h.params = params;
   h.message_bits = enc.message_bits();
-  const auto cipher = enc.cipher_bytes();
-  return frame_encode(h, cipher);
+  return frame_encode(h, enc.cipher_bytes());
 }
 
 std::vector<std::uint8_t> open(std::span<const std::uint8_t> framed, const Key& key) {

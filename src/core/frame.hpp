@@ -7,7 +7,8 @@
 //   offset  size  field
 //   0       4     magic "MHEA"
 //   4       1     format version (1)
-//   5       1     flags: bit0 = framed policy, bits 2..1 = log2(N/16)
+//   5       1     flags: bit0 = framed policy, bits 2..1 = log2(N/16),
+//                 bits 7..3 reserved (0)
 //   6       2     reserved (0)
 //   8       8     message length in bits (little-endian)
 //   16      ...   ciphertext blocks (N/8 bytes each, little-endian)

@@ -8,11 +8,19 @@
 
 namespace mhhea::core {
 
+namespace {
+/// Cover vectors prefetched per refill. Bounded so a streaming feed never
+/// holds more than ~2 KiB of look-ahead.
+constexpr std::size_t kCoverChunk = 256;
+}  // namespace
+
 Encryptor::Encryptor(Key key, std::unique_ptr<CoverSource> cover, BlockParams params)
     : key_(std::move(key)), cover_(std::move(cover)), params_(params) {
   params_.validate();
   if (cover_ == nullptr) throw std::invalid_argument("Encryptor: null cover source");
   key_.require_fits(params_, "Encryptor");
+  pair_ctx_ = detail::make_pair_ctx(key_, params_);
+  cover_buf_.resize(kCoverChunk);
 }
 
 void Encryptor::feed(std::span<const std::uint8_t> msg) {
@@ -25,6 +33,56 @@ void Encryptor::feed_bits(util::BitReader& reader, std::size_t n_bits) {
     throw std::invalid_argument("Encryptor::feed_bits: not enough bits in reader");
   }
   encrypt_frame_bit_run(reader, n_bits);
+}
+
+void Encryptor::reset() {
+  cover_->reset();
+  cipher_.clear();
+  blocks_cache_.clear();
+  block_index_ = 0;
+  pair_idx_ = 0;
+  msg_bits_ = 0;
+  frame_remaining_ = 0;
+  frame_size_ = 0;
+  tail_.clear();
+  tail_whole_frame_ = false;
+  frame_log_.clear();
+  cover_pos_ = 0;
+  cover_len_ = 0;
+}
+
+Encryptor::BlockPlan Encryptor::plan_block(std::uint64_t v, std::size_t remaining,
+                                           bool framed) const {
+  const detail::PairCtx& pc = pair_ctx_[pair_idx_];
+  const ScrambledRange r = scramble_range(v, pc.pair, params_);
+  // Capacity: what this block could hold given unlimited message data — the
+  // frame budget caps it in framed mode. A block that ends a feed below
+  // capacity is the re-openable tail.
+  const int cap = framed ? std::min(r.width(), frame_remaining_) : r.width();
+  const int w = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(cap), remaining));
+  return BlockPlan{r.kn1, cap, w};
+}
+
+void Encryptor::emit_block(std::uint64_t v, const BlockPlan& plan, std::uint64_t msg_word,
+                           bool framed, TailBlock& tb) {
+  const detail::PairCtx& pc = pair_ctx_[pair_idx_];
+  if (++pair_idx_ == pair_ctx_.size()) pair_idx_ = 0;
+  const std::uint64_t ct =
+      embed_bits_with_pattern(v, plan.kn1, pc.pattern, msg_word, plan.w);
+  // Append serialized (little-endian): push_back beats resize+store here —
+  // resize value-initializes the new bytes before they are overwritten.
+  const int bb = params_.block_bytes();
+  for (int i = 0; i < bb; ++i) {
+    cipher_.push_back(static_cast<std::uint8_t>((ct >> (8 * i)) & 0xFF));
+  }
+  ++block_index_;
+  msg_bits_ += static_cast<std::uint64_t>(plan.w);
+  tb = TailBlock{v, msg_word & util::mask64(plan.w), plan.w};
+  if (framed) {
+    frame_remaining_ -= plan.w;
+    frame_log_.push_back(tb);
+  }
 }
 
 void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bits) {
@@ -42,9 +100,17 @@ void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bit
   std::uint64_t replay_bits = 0;
   int replay_n = 0;
   if (!replay.empty()) {
+    cipher_.resize(cipher_.size() -
+                   replay.size() * static_cast<std::size_t>(params_.block_bytes()));
+    // The popped blocks will be re-embedded with different contents: drop
+    // any cached decode of them (earlier blocks never change, so the cache
+    // prefix stays valid).
+    const std::size_t n_blocks =
+        cipher_.size() / static_cast<std::size_t>(params_.block_bytes());
+    if (blocks_cache_.size() > n_blocks) blocks_cache_.resize(n_blocks);
     for (const TailBlock& tb : replay) {
-      blocks_.pop_back();
       --block_index_;
+      pair_idx_ = (pair_idx_ == 0 ? pair_ctx_.size() : pair_idx_) - 1;
       msg_bits_ -= static_cast<std::uint64_t>(tb.w);
       replay_bits |= tb.bits << replay_n;
       replay_n += tb.w;
@@ -62,51 +128,53 @@ void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bit
   }
 
   std::size_t remaining = static_cast<std::size_t>(replay_n) + n_bits;
-  std::size_t replay_v_idx = 0;
+  cipher_.reserve(cipher_.size() +
+                  (remaining / 3 + 4) * static_cast<std::size_t>(params_.block_bytes()));
   TailBlock last{};
-  int last_cap = 0;  // what the final block could have held
-  while (remaining > 0) {
-    // Framed policy: open a new frame when the previous one is complete.
-    // A frame is one alignment-buffer fill: vector_bits message bits
-    // (16 for the paper's hardware).
+  int last_cap = 0;
+
+  // Framed policy: a frame is one alignment-buffer fill — vector_bits
+  // message bits (16 for the paper's hardware).
+  const auto open_frame_if_needed = [&] {
     if (framed && frame_remaining_ == 0) {
       frame_size_ = static_cast<int>(
           std::min<std::size_t>(remaining, static_cast<std::size_t>(params_.vector_bits)));
       frame_remaining_ = frame_size_;
       frame_log_.clear();
     }
-    const std::uint64_t v = replay_v_idx < replay.size()
-                                ? replay[replay_v_idx++].v
-                                : cover_->next_block(params_.vector_bits);
-    const KeyPair& pair = key_.pair_for_block(block_index_);
-    const ScrambledRange range = scramble_range(v, pair, params_);
-    // Capacity: what this block could hold given unlimited message data —
-    // the frame budget caps it in framed mode. A block that ends a feed
-    // below capacity is the re-openable tail.
-    last_cap = framed ? std::min(range.width(), frame_remaining_) : range.width();
-    const int w = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(last_cap), remaining));
-    // Gather w message bits: replayed bits first, then the reader.
-    const int from_replay = std::min(w, replay_n);
-    std::uint64_t msg_bits = replay_bits & util::mask64(from_replay);
+  };
+
+  // Replayed covers first: their message words mix rolled-back bits with
+  // fresh bits from the reader. Re-embedding with more data available always
+  // re-consumes at least the rolled-back bits, so every replayed cover is
+  // used before `remaining` runs out.
+  for (const TailBlock& rb : replay) {
+    assert(remaining > 0);
+    open_frame_if_needed();
+    const BlockPlan plan = plan_block(rb.v, remaining, framed);
+    const int from_replay = std::min(plan.w, replay_n);
+    std::uint64_t msg_word = replay_bits & util::mask64(from_replay);
     replay_bits >>= from_replay;
     replay_n -= from_replay;
-    if (w > from_replay) {
-      int got = 0;
-      msg_bits |= reader.read_bits(w - from_replay, &got) << from_replay;
-      assert(got == w - from_replay);
+    if (plan.w > from_replay) {
+      msg_word |= reader.read_bits(plan.w - from_replay) << from_replay;
     }
-    blocks_.push_back(embed_bits(v, range, pair, msg_bits, w, params_));
-    ++block_index_;
-    msg_bits_ += static_cast<std::uint64_t>(w);
-    remaining -= static_cast<std::size_t>(w);
-    last = TailBlock{v, msg_bits, w};
-    if (framed) {
-      frame_remaining_ -= w;
-      frame_log_.push_back(last);
-    }
+    emit_block(rb.v, plan, msg_word, framed, last);
+    last_cap = plan.cap;
+    remaining -= static_cast<std::size_t>(plan.w);
   }
-  assert(replay_v_idx == replay.size());
+  assert(replay_n == 0);
+
+  // Steady state: prefetched covers, one whole-word read + embed per block.
+  while (remaining > 0) {
+    open_frame_if_needed();
+    if (cover_pos_ == cover_len_) refill_cover(remaining);
+    const std::uint64_t v = cover_buf_[cover_pos_++];
+    const BlockPlan plan = plan_block(v, remaining, framed);
+    emit_block(v, plan, reader.read_bits(plan.w), framed, last);
+    last_cap = plan.cap;
+    remaining -= static_cast<std::size_t>(plan.w);
+  }
 
   // Decide what the next feed may re-open.
   if (framed) {
@@ -123,57 +191,93 @@ void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bit
   }
 }
 
-std::vector<std::uint8_t> Encryptor::cipher_bytes() const {
-  std::vector<std::uint8_t> out;
+void Encryptor::refill_cover(std::size_t remaining_bits) {
+  // Never fetch more vectors than this feed is guaranteed to consume: each
+  // block embeds at most N/2 bits, so at least ceil(remaining / (N/2))
+  // blocks are still needed. Finite covers (steganography mode) therefore
+  // drain exactly as in the block-at-a-time formulation.
+  const auto h = static_cast<std::size_t>(params_.half());
+  const std::size_t want =
+      std::min(cover_buf_.size(), std::max<std::size_t>(remaining_bits / h, 1));
+  const std::size_t got =
+      cover_->next_blocks(params_.vector_bits, std::span(cover_buf_.data(), want));
+  if (got == 0) throw std::runtime_error("Encryptor: cover source exhausted");
+  cover_pos_ = 0;
+  cover_len_ = got;
+}
+
+const std::vector<std::uint64_t>& Encryptor::blocks() const {
+  // The cache is always a decoded prefix of cipher_ (the tail-replay
+  // rollback trims it), so only newly emitted blocks are decoded here —
+  // feed-then-inspect loops stay linear.
   const int bb = params_.block_bytes();
-  out.reserve(blocks_.size() * static_cast<std::size_t>(bb));
-  for (std::uint64_t b : blocks_) {
-    for (int i = 0; i < bb; ++i) out.push_back(static_cast<std::uint8_t>((b >> (8 * i)) & 0xFF));
+  const std::size_t n_blocks = cipher_.size() / static_cast<std::size_t>(bb);
+  blocks_cache_.reserve(n_blocks);
+  for (std::size_t i = blocks_cache_.size(); i < n_blocks; ++i) {
+    blocks_cache_.push_back(
+        util::load_le(cipher_.data() + i * static_cast<std::size_t>(bb), bb));
   }
-  return out;
+  return blocks_cache_;
 }
 
 Decryptor::Decryptor(Key key, std::uint64_t message_bits, BlockParams params)
     : key_(std::move(key)), params_(params), total_bits_(message_bits) {
   params_.validate();
   key_.require_fits(params_, "Decryptor");
+  pair_ctx_ = detail::make_pair_ctx(key_, params_);
+  out_.reserve_bits(message_bits);
 }
 
 int Decryptor::feed_block(std::uint64_t block) {
   if (done()) return 0;
-  if (params_.policy == FramePolicy::framed && frame_remaining_ == 0) {
+  const bool framed = params_.policy == FramePolicy::framed;
+  if (framed && frame_remaining_ == 0) {
     frame_remaining_ = static_cast<int>(std::min<std::uint64_t>(
         total_bits_ - recovered_, static_cast<std::uint64_t>(params_.vector_bits)));
   }
-  const KeyPair& pair = key_.pair_for_block(block_index_);
-  const ScrambledRange range = scramble_range(block, pair, params_);
-  const std::uint64_t cap = params_.policy == FramePolicy::framed
-                                ? static_cast<std::uint64_t>(frame_remaining_)
-                                : total_bits_ - recovered_;
+  const detail::PairCtx& pc = pair_ctx_[pair_idx_];
+  if (++pair_idx_ == pair_ctx_.size()) pair_idx_ = 0;
+  const ScrambledRange range = scramble_range(block, pc.pair, params_);
+  const std::uint64_t cap = framed ? static_cast<std::uint64_t>(frame_remaining_)
+                                   : total_bits_ - recovered_;
   const int w = static_cast<int>(
       std::min<std::uint64_t>(static_cast<std::uint64_t>(range.width()), cap));
-  const std::uint64_t bits = extract_bits(block, range, pair, w, params_);
-  out_.write_bits(bits, w);
+  // Whole-word extract: one shift + pattern XOR (write_bits keeps only the
+  // low w bits, so the unmasked high bits are discarded).
+  out_.write_bits(extract_bits_with_pattern(block, range.kn1, pc.pattern, w), w);
   recovered_ += static_cast<std::uint64_t>(w);
   ++block_index_;
-  if (params_.policy == FramePolicy::framed) frame_remaining_ -= w;
+  if (framed) frame_remaining_ -= w;
   cache_valid_ = false;
   return w;
 }
 
 void Decryptor::feed_bytes(std::span<const std::uint8_t> cipher) {
-  const int bb = params_.block_bytes();
-  if (cipher.size() % static_cast<std::size_t>(bb) != 0) {
+  const auto bb = static_cast<std::size_t>(params_.block_bytes());
+  if (cipher.size() % bb != 0) {
     throw std::invalid_argument("Decryptor::feed_bytes: ciphertext not block-aligned");
   }
-  for (std::size_t i = 0; i < cipher.size(); i += static_cast<std::size_t>(bb)) {
-    std::uint64_t b = 0;
-    for (int j = 0; j < bb; ++j) {
-      b |= static_cast<std::uint64_t>(cipher[i + static_cast<std::size_t>(j)]) << (8 * j);
+  for (std::size_t i = 0; i < cipher.size(); i += bb) {
+    if (done()) {
+      // Every block must carry message bits; blocks beyond the message end
+      // mean a corrupted or padded ciphertext and must not pass silently.
+      throw std::invalid_argument(
+          "Decryptor::feed_bytes: trailing ciphertext blocks after message end");
     }
-    feed_block(b);
-    if (done()) break;
+    feed_block(util::load_le(cipher.data() + i, static_cast<int>(bb)));
   }
+}
+
+void Decryptor::reset(std::uint64_t message_bits) {
+  total_bits_ = message_bits;
+  recovered_ = 0;
+  block_index_ = 0;
+  pair_idx_ = 0;
+  frame_remaining_ = 0;
+  out_.clear();
+  out_.reserve_bits(message_bits);
+  message_cache_.clear();
+  cache_valid_ = false;
 }
 
 const std::vector<std::uint8_t>& Decryptor::message() const {

@@ -12,6 +12,13 @@
 // locations are recomputed from each ciphertext block's unmodified high
 // half. In particular the encryptor's LFSR seed (or cover data) is NOT
 // required — it acts as a nonce.
+//
+// The hot path is word-at-a-time end to end, mirroring the FPGA's whole-
+// vector-per-clock datapath: message bits are pulled from the BitReader in
+// w-bit words, cover vectors are prefetched in chunks through
+// CoverSource::next_blocks, and each block is embedded/extracted with one
+// masked word operation (block.hpp). Both cores are resettable so adapters
+// can amortize construction across messages.
 #pragma once
 
 #include <cstdint>
@@ -27,9 +34,27 @@
 
 namespace mhhea::core {
 
+namespace detail {
+/// Per-pair constants of the cipher hot loops: the pair plus its cached
+/// data-scramble pattern (avoids the mod-L divide of Key::pair_for_block
+/// and the per-block pattern rebuild). Shared by Encryptor and Decryptor so
+/// the caches cannot drift apart.
+struct PairCtx {
+  KeyPair pair;
+  std::uint64_t pattern = 0;
+};
+
+inline std::vector<PairCtx> make_pair_ctx(const Key& key, const BlockParams& params) {
+  std::vector<PairCtx> ctx;
+  ctx.reserve(static_cast<std::size_t>(key.size()));
+  for (const KeyPair& p : key.pairs()) ctx.push_back({p, key_pattern(p, params)});
+  return ctx;
+}
+}  // namespace detail
+
 /// Streaming encryptor. Feed message bytes/bits; collect N-bit ciphertext
-/// blocks. One instance encrypts one message (block index and frame state
-/// are not resettable mid-stream).
+/// blocks. One instance encrypts one message at a time; reset() rewinds the
+/// cover source and starts a fresh message without reallocating.
 ///
 /// Incremental feeds are equivalent to one shot: blocks()/cipher_bytes()
 /// always reflect the ciphertext of the message fed so far *as if it were
@@ -48,12 +73,19 @@ class Encryptor {
   void feed(std::span<const std::uint8_t> msg);
   /// Encrypt `n_bits` bits from `reader`.
   void feed_bits(util::BitReader& reader, std::size_t n_bits);
+  /// Start a new message: drops all produced blocks (keeping their storage)
+  /// and rewinds the cover source. Requires a resettable cover
+  /// (std::logic_error otherwise — see CoverSource::reset).
+  void reset();
   /// Total message bits consumed so far.
   [[nodiscard]] std::uint64_t message_bits() const noexcept { return msg_bits_; }
-  /// Ciphertext blocks produced so far.
-  [[nodiscard]] const std::vector<std::uint64_t>& blocks() const noexcept { return blocks_; }
+  /// Ciphertext blocks produced so far (deserialized view of the stream,
+  /// extended lazily — the stream itself is stored serialized).
+  [[nodiscard]] const std::vector<std::uint64_t>& blocks() const;
   /// Ciphertext blocks serialized little-endian, block_bytes() per block.
-  [[nodiscard]] std::vector<std::uint8_t> cipher_bytes() const;
+  [[nodiscard]] const std::vector<std::uint8_t>& cipher_bytes() const noexcept {
+    return cipher_;
+  }
 
   [[nodiscard]] const BlockParams& params() const noexcept { return params_; }
   [[nodiscard]] const Key& key() const noexcept { return key_; }
@@ -66,24 +98,54 @@ class Encryptor {
     int w = 0;
   };
 
+  /// Scramble outcome for one block: where the message word lands (kn1),
+  /// the block's capacity, and the width actually embedded this feed.
+  struct BlockPlan {
+    int kn1 = 0;
+    int cap = 0;
+    int w = 0;
+  };
+
   void encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bits);
+  [[nodiscard]] BlockPlan plan_block(std::uint64_t v, std::size_t remaining,
+                                     bool framed) const;
+  /// Embed a planned block and update stream/frame bookkeeping; fills `tb`
+  /// with the re-openable description of the block.
+  void emit_block(std::uint64_t v, const BlockPlan& plan, std::uint64_t msg_word,
+                  bool framed, TailBlock& tb);
+  /// Refill the prefetched cover-vector chunk. Never fetches more blocks
+  /// than `remaining_bits` can consume, so finite covers are drained exactly
+  /// as in the block-at-a-time formulation.
+  void refill_cover(std::size_t remaining_bits);
 
   Key key_;
   std::unique_ptr<CoverSource> cover_;
   BlockParams params_;
-  std::vector<std::uint64_t> blocks_;
+  std::vector<detail::PairCtx> pair_ctx_;
+  /// The ciphertext, kept serialized (block_bytes() little-endian bytes per
+  /// block): the hot loop stores 2 bytes per paper-sized block instead of a
+  /// widened uint64 — a 4x cut in store traffic on large messages.
+  std::vector<std::uint8_t> cipher_;
+  /// Decoded prefix of cipher_ for blocks(); extended on demand, trimmed by
+  /// the tail-replay rollback.
+  mutable std::vector<std::uint64_t> blocks_cache_;
   std::uint64_t block_index_ = 0;  // the algorithm's i (before mod L)
+  std::size_t pair_idx_ = 0;       // block_index_ mod L, maintained cyclically
   std::uint64_t msg_bits_ = 0;
   int frame_remaining_ = 0;  // framed policy: bits left in the current frame
   int frame_size_ = 0;       // framed policy: size the current frame opened with
   std::vector<TailBlock> tail_;       // re-openable tail of the stream
   bool tail_whole_frame_ = false;     // tail_ spans the whole (short) frame
   std::vector<TailBlock> frame_log_;  // framed: blocks of the current frame
+  std::vector<std::uint64_t> cover_buf_;  // prefetched hiding vectors
+  std::size_t cover_pos_ = 0;
+  std::size_t cover_len_ = 0;
 };
 
 /// Streaming decryptor: feed ciphertext blocks, collect message bits.
 /// `message_bits` must be known (transported by the framed file format in
-/// frame.hpp, or out of band as the paper's EOF).
+/// frame.hpp, or out of band as the paper's EOF). reset() rewinds the core
+/// for a new ciphertext without reallocating.
 class Decryptor {
  public:
   Decryptor(Key key, std::uint64_t message_bits, BlockParams params = BlockParams::paper());
@@ -91,8 +153,12 @@ class Decryptor {
   /// Consume one ciphertext block. Returns the number of message bits
   /// recovered from it (0 once the message is complete).
   int feed_block(std::uint64_t block);
-  /// Consume serialized blocks (little-endian, block_bytes() each).
+  /// Consume serialized blocks (little-endian, block_bytes() each). Throws
+  /// std::invalid_argument if blocks remain in `cipher` after the message is
+  /// complete — a too-long ciphertext must not round-trip silently.
   void feed_bytes(std::span<const std::uint8_t> cipher);
+  /// Start over, expecting a `message_bits`-bit message.
+  void reset(std::uint64_t message_bits);
 
   /// True once message_bits bits have been recovered.
   [[nodiscard]] bool done() const noexcept { return recovered_ == total_bits_; }
@@ -103,9 +169,11 @@ class Decryptor {
  private:
   Key key_;
   BlockParams params_;
+  std::vector<detail::PairCtx> pair_ctx_;
   std::uint64_t total_bits_;
   std::uint64_t recovered_ = 0;
   std::uint64_t block_index_ = 0;
+  std::size_t pair_idx_ = 0;
   int frame_remaining_ = 0;
   util::BitWriter out_;
   mutable std::vector<std::uint8_t> message_cache_;
@@ -121,7 +189,8 @@ class Decryptor {
                                                 BlockParams params = BlockParams::paper());
 
 /// Decrypt ciphertext produced by encrypt(); `msg_bytes` is the plaintext
-/// length. Throws std::invalid_argument if the ciphertext is too short.
+/// length. Throws std::invalid_argument if the ciphertext is too short or
+/// carries blocks beyond the message end.
 [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
                                                 const Key& key, std::size_t msg_bytes,
                                                 BlockParams params = BlockParams::paper());

@@ -12,7 +12,9 @@ namespace mhhea::crypto {
 
 /// A one-shot symmetric cipher. Implementations are deterministic given
 /// their construction parameters (key + nonce), which is what the benches
-/// and equivalence tests need.
+/// and equivalence tests need. Implementations may keep reusable internal
+/// engine state across calls (resettable cores), so an instance must not be
+/// shared between threads — the batch API builds one cipher per worker.
 class Cipher {
  public:
   virtual ~Cipher() = default;

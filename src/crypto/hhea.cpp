@@ -21,35 +21,43 @@ HheaEncryptor::HheaEncryptor(core::Key key, std::unique_ptr<core::CoverSource> c
 void HheaEncryptor::feed(std::span<const std::uint8_t> msg) {
   util::BitReader reader(msg);
   std::size_t remaining = reader.size_bits();
+  const bool framed = params_.policy == FramePolicy::framed;
+  const auto n_pairs = static_cast<std::size_t>(key_.size());
+  blocks_.reserve(blocks_.size() + remaining / 3 + 4);
   while (remaining > 0) {
-    if (params_.policy == FramePolicy::framed && frame_remaining_ == 0) {
+    if (framed && frame_remaining_ == 0) {
       frame_remaining_ = static_cast<int>(
           std::min<std::size_t>(remaining, static_cast<std::size_t>(params_.vector_bits)));
     }
-    std::uint64_t v = cover_->next_block(params_.vector_bits);
-    const core::KeyPair& pair = key_.pair_for_block(block_index_);
-    const std::size_t cap = params_.policy == FramePolicy::framed
-                                ? static_cast<std::size_t>(frame_remaining_)
-                                : remaining;
+    const std::uint64_t v = cover_->next_block(params_.vector_bits);
+    const core::KeyPair& pair = key_.pair(static_cast<int>(pair_idx_));
+    if (++pair_idx_ == n_pairs) pair_idx_ = 0;
+    const std::size_t cap = framed ? static_cast<std::size_t>(frame_remaining_) : remaining;
     const int n = pair.span() + 1;  // fixed, unscrambled range width
     const int w = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(n), cap));
-    for (int t = 0; t < w; ++t) {
-      v = util::set_bit(v, pair.lo() + t, reader.read_bit());  // no data XOR
-    }
-    blocks_.push_back(v);
+    // Whole-word embed at the fixed location — no data XOR in HHEA.
+    blocks_.push_back(util::deposit(v, pair.lo() + w - 1, pair.lo(), reader.read_bits(w)));
     ++block_index_;
     msg_bits_ += static_cast<std::uint64_t>(w);
     remaining -= static_cast<std::size_t>(w);
-    if (params_.policy == FramePolicy::framed) frame_remaining_ -= w;
+    if (framed) frame_remaining_ -= w;
   }
 }
 
+void HheaEncryptor::reset() {
+  cover_->reset();
+  blocks_.clear();
+  block_index_ = 0;
+  pair_idx_ = 0;
+  msg_bits_ = 0;
+  frame_remaining_ = 0;
+}
+
 std::vector<std::uint8_t> HheaEncryptor::cipher_bytes() const {
-  std::vector<std::uint8_t> out;
   const int bb = params_.block_bytes();
-  out.reserve(blocks_.size() * static_cast<std::size_t>(bb));
-  for (std::uint64_t b : blocks_) {
-    for (int i = 0; i < bb; ++i) out.push_back(static_cast<std::uint8_t>((b >> (8 * i)) & 0xFF));
+  std::vector<std::uint8_t> out(blocks_.size() * static_cast<std::size_t>(bb));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    util::store_le(out.data() + i * static_cast<std::size_t>(bb), blocks_[i], bb);
   }
   return out;
 }
@@ -58,27 +66,27 @@ HheaDecryptor::HheaDecryptor(core::Key key, std::uint64_t message_bits, BlockPar
     : key_(std::move(key)), params_(params), total_bits_(message_bits) {
   params_.validate();
   key_.require_fits(params_, "HheaDecryptor");
+  out_.reserve_bits(message_bits);
 }
 
 int HheaDecryptor::feed_block(std::uint64_t block) {
   if (done()) return 0;
-  if (params_.policy == FramePolicy::framed && frame_remaining_ == 0) {
+  const bool framed = params_.policy == FramePolicy::framed;
+  if (framed && frame_remaining_ == 0) {
     frame_remaining_ = static_cast<int>(std::min<std::uint64_t>(
         total_bits_ - recovered_, static_cast<std::uint64_t>(params_.vector_bits)));
   }
-  const core::KeyPair& pair = key_.pair_for_block(block_index_);
-  const std::uint64_t cap = params_.policy == FramePolicy::framed
-                                ? static_cast<std::uint64_t>(frame_remaining_)
-                                : total_bits_ - recovered_;
+  const core::KeyPair& pair = key_.pair(static_cast<int>(pair_idx_));
+  if (++pair_idx_ == static_cast<std::size_t>(key_.size())) pair_idx_ = 0;
+  const std::uint64_t cap = framed ? static_cast<std::uint64_t>(frame_remaining_)
+                                   : total_bits_ - recovered_;
   const int n = pair.span() + 1;
   const int w =
       static_cast<int>(std::min<std::uint64_t>(static_cast<std::uint64_t>(n), cap));
-  for (int t = 0; t < w; ++t) {
-    out_.write_bit(util::get_bit(block, pair.lo() + t) != 0);
-  }
+  out_.write_bits(block >> pair.lo(), w);  // write_bits keeps the low w bits
   recovered_ += static_cast<std::uint64_t>(w);
   ++block_index_;
-  if (params_.policy == FramePolicy::framed) frame_remaining_ -= w;
+  if (framed) frame_remaining_ -= w;
   return w;
 }
 
@@ -88,13 +96,22 @@ void HheaDecryptor::feed_bytes(std::span<const std::uint8_t> cipher) {
     throw std::invalid_argument("HheaDecryptor: ciphertext not block-aligned");
   }
   for (std::size_t i = 0; i < cipher.size(); i += bb) {
-    std::uint64_t b = 0;
-    for (std::size_t j = 0; j < bb; ++j) {
-      b |= static_cast<std::uint64_t>(cipher[i + j]) << (8 * j);
+    if (done()) {
+      throw std::invalid_argument(
+          "HheaDecryptor: trailing ciphertext blocks after message end");
     }
-    feed_block(b);
-    if (done()) break;
+    feed_block(util::load_le(cipher.data() + i, static_cast<int>(bb)));
   }
+}
+
+void HheaDecryptor::reset(std::uint64_t message_bits) {
+  total_bits_ = message_bits;
+  recovered_ = 0;
+  block_index_ = 0;
+  pair_idx_ = 0;
+  frame_remaining_ = 0;
+  out_.clear();
+  out_.reserve_bits(message_bits);
 }
 
 std::vector<std::uint8_t> hhea_encrypt(std::span<const std::uint8_t> msg,

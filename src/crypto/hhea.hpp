@@ -9,7 +9,9 @@
 // the two scrambling steps.
 //
 // The same CoverSource / framing machinery as the core cipher is reused so
-// HHEA and MHHEA are compared on equal footing.
+// HHEA and MHHEA are compared on equal footing; like core::Encryptor the
+// hot path moves whole message words per block and both cores are
+// resettable.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +33,8 @@ class HheaEncryptor {
                 core::BlockParams params = core::BlockParams::paper());
 
   void feed(std::span<const std::uint8_t> msg);
+  /// Start a new message; requires a resettable cover source.
+  void reset();
   [[nodiscard]] std::uint64_t message_bits() const noexcept { return msg_bits_; }
   [[nodiscard]] const std::vector<std::uint64_t>& blocks() const noexcept { return blocks_; }
   [[nodiscard]] std::vector<std::uint8_t> cipher_bytes() const;
@@ -41,6 +45,7 @@ class HheaEncryptor {
   core::BlockParams params_;
   std::vector<std::uint64_t> blocks_;
   std::uint64_t block_index_ = 0;
+  std::size_t pair_idx_ = 0;
   std::uint64_t msg_bits_ = 0;
   int frame_remaining_ = 0;
 };
@@ -52,7 +57,11 @@ class HheaDecryptor {
                 core::BlockParams params = core::BlockParams::paper());
 
   int feed_block(std::uint64_t block);
+  /// Consume serialized blocks; throws std::invalid_argument on unconsumed
+  /// trailing blocks once the message is complete.
   void feed_bytes(std::span<const std::uint8_t> cipher);
+  /// Start over, expecting a `message_bits`-bit message.
+  void reset(std::uint64_t message_bits);
   [[nodiscard]] bool done() const noexcept { return recovered_ == total_bits_; }
   [[nodiscard]] std::vector<std::uint8_t> message() const { return out_.bytes(); }
 
@@ -62,6 +71,7 @@ class HheaDecryptor {
   std::uint64_t total_bits_;
   std::uint64_t recovered_ = 0;
   std::uint64_t block_index_ = 0;
+  std::size_t pair_idx_ = 0;
   int frame_remaining_ = 0;
   util::BitWriter out_;
 };

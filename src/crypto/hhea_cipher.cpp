@@ -1,15 +1,18 @@
 #include "src/crypto/hhea_cipher.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "src/core/cover.hpp"
-#include "src/crypto/hhea.hpp"
 
 namespace mhhea::crypto {
 
 HheaCipher::HheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params)
-    : key_(std::move(key)), seed_(seed), params_(params) {
-  HheaEncryptor probe(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_);
+    : key_(std::move(key)),
+      seed_(seed),
+      params_(params),
+      enc_(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_),
+      dec_(key_, 0, params_) {
   double mean_bits = 0.0;
   for (const auto& p : key_.pairs()) mean_bits += static_cast<double>(p.span() + 1);
   mean_bits /= static_cast<double>(key_.size());
@@ -17,12 +20,21 @@ HheaCipher::HheaCipher(core::Key key, std::uint64_t seed, core::BlockParams para
 }
 
 std::vector<std::uint8_t> HheaCipher::encrypt(std::span<const std::uint8_t> msg) {
-  return hhea_encrypt(msg, key_, seed_, params_);
+  enc_.reset();
+  enc_.feed(msg);
+  return enc_.cipher_bytes();
 }
 
 std::vector<std::uint8_t> HheaCipher::decrypt(std::span<const std::uint8_t> cipher,
                                               std::size_t msg_bytes) {
-  return hhea_decrypt(cipher, key_, msg_bytes, params_);
+  dec_.reset(static_cast<std::uint64_t>(msg_bytes) * 8);
+  dec_.feed_bytes(cipher);
+  if (!dec_.done()) {
+    throw std::invalid_argument("HheaCipher: ciphertext too short for message length");
+  }
+  auto msg = dec_.message();
+  msg.resize(msg_bytes);
+  return msg;
 }
 
 }  // namespace mhhea::crypto

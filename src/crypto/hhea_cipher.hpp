@@ -1,6 +1,8 @@
 // Cipher adapter for the baseline HHEA (src/crypto/hhea.hpp), mirroring
-// MhheaCipher: one instance = one (key, nonce, params) configuration, each
-// call independent and deterministic.
+// MhheaCipher: one instance = one (key, nonce, params) configuration with
+// resettable reusable cores, so per-call work is the message itself, not
+// engine construction. Deterministic per call; share one instance per
+// thread.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +10,7 @@
 #include "src/core/key.hpp"
 #include "src/core/params.hpp"
 #include "src/crypto/cipher.hpp"
+#include "src/crypto/hhea.hpp"
 
 namespace mhhea::crypto {
 
@@ -33,6 +36,8 @@ class HheaCipher final : public Cipher {
   core::Key key_;
   std::uint64_t seed_;
   core::BlockParams params_;
+  HheaEncryptor enc_;  // reusable core, reset per encrypt()
+  HheaDecryptor dec_;  // reusable core, reset per decrypt()
   double expansion_;
 };
 

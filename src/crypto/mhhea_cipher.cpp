@@ -1,29 +1,58 @@
 #include "src/crypto/mhhea_cipher.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "src/core/analysis.hpp"
 #include "src/core/cover.hpp"
-#include "src/core/mhhea.hpp"
+#include "src/core/frame.hpp"
 
 namespace mhhea::crypto {
 
-MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params)
-    : key_(std::move(key)), seed_(seed), params_(params) {
-  // Probe construction validates params, seed and key-vs-params eagerly.
-  core::Encryptor probe(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_);
-  expansion_ = core::expected_expansion(key_, params_);
-}
+MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params,
+                         Framing framing)
+    : key_(std::move(key)),
+      seed_(seed),
+      params_(params),
+      framing_(framing),
+      // Core construction validates params, seed and key-vs-params eagerly.
+      enc_(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_),
+      dec_(key_, 0, params_),
+      expansion_(core::expected_expansion(key_, params_)) {}
 
 std::vector<std::uint8_t> MhheaCipher::encrypt(std::span<const std::uint8_t> msg) {
-  core::Encryptor enc(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_);
-  enc.feed(msg);
-  return enc.cipher_bytes();
+  enc_.reset();
+  enc_.feed(msg);
+  if (framing_ == Framing::sealed) {
+    core::FrameHeader h;
+    h.params = params_;
+    h.message_bits = enc_.message_bits();
+    return core::frame_encode(h, enc_.cipher_bytes());
+  }
+  return enc_.cipher_bytes();
 }
 
 std::vector<std::uint8_t> MhheaCipher::decrypt(std::span<const std::uint8_t> cipher,
                                                std::size_t msg_bytes) {
-  return core::decrypt(cipher, key_, msg_bytes, params_);
+  std::span<const std::uint8_t> payload = cipher;
+  std::uint64_t message_bits = static_cast<std::uint64_t>(msg_bytes) * 8;
+  if (framing_ == Framing::sealed) {
+    const core::FrameHeader h = core::frame_decode(cipher, &payload);
+    if (h.params != params_) {
+      throw std::invalid_argument("MhheaCipher: sealed header params mismatch");
+    }
+    if (h.message_bits != message_bits) {
+      throw std::invalid_argument("MhheaCipher: sealed header length mismatch");
+    }
+  }
+  dec_.reset(message_bits);
+  dec_.feed_bytes(payload);
+  if (!dec_.done()) {
+    throw std::invalid_argument("MhheaCipher: ciphertext too short for message length");
+  }
+  std::vector<std::uint8_t> msg = dec_.message();
+  msg.resize(msg_bytes);
+  return msg;
 }
 
 }  // namespace mhhea::crypto

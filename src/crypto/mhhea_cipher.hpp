@@ -2,16 +2,26 @@
 // sweepable through the uniform crypto::Cipher interface alongside HHEA and
 // YAEA-S (Table 1's comparison set).
 //
-// One adapter instance = one (key, nonce, params) configuration. Each
-// encrypt()/decrypt() call builds a fresh streaming Encryptor/Decryptor, so
-// calls are independent and deterministic — the contract the batch API and
-// the equivalence tests rely on (and what makes one instance safely usable
-// from several threads at once).
+// One adapter instance = one (key, nonce, params, framing) configuration.
+// The instance keeps one resettable Encryptor/Decryptor core and rewinds it
+// per call instead of constructing a fresh engine each time — per-message
+// setup (cover construction, key-pattern caches, LFSR leap tables, block
+// storage) is paid once. Calls remain deterministic and independent: the
+// cover source is re-seeded on every reset, so encrypt() is a pure function
+// of the configuration and the message. The reusable core makes calls
+// STATEFUL internally — share one instance per thread (the batch API
+// already builds one cipher per worker).
+//
+// Framing::sealed wraps every ciphertext in the self-describing
+// core::seal/open container (frame.hpp): a 16-byte header carrying params
+// and message length ahead of the blocks. That is the mode the bench uses
+// to measure the framed/hardware configuration end to end.
 #pragma once
 
 #include <cstdint>
 
 #include "src/core/key.hpp"
+#include "src/core/mhhea.hpp"
 #include "src/core/params.hpp"
 #include "src/crypto/cipher.hpp"
 
@@ -19,28 +29,44 @@ namespace mhhea::crypto {
 
 class MhheaCipher final : public Cipher {
  public:
+  /// Ciphertext layout produced by encrypt().
+  enum class Framing {
+    raw,     ///< bare ciphertext blocks (the paper's out-of-band-EOF mode)
+    sealed,  ///< core::seal container: 16-byte header + blocks
+  };
+
   /// `seed` is the LFSR nonce; must be non-zero in the low LFSR-degree bits
   /// and `key` must fit `params` — both are validated eagerly
   /// (std::invalid_argument), so a registry sweep fails at construction, not
   /// mid-benchmark.
   MhheaCipher(core::Key key, std::uint64_t seed,
-              core::BlockParams params = core::BlockParams::paper());
+              core::BlockParams params = core::BlockParams::paper(),
+              Framing framing = Framing::raw);
 
-  [[nodiscard]] std::string name() const override { return "MHHEA"; }
+  [[nodiscard]] std::string name() const override {
+    return framing_ == Framing::sealed ? "MHHEA-sealed" : "MHHEA";
+  }
   [[nodiscard]] std::vector<std::uint8_t> encrypt(
       std::span<const std::uint8_t> msg) override;
+  /// For sealed framing, `msg_bytes` must agree with the header's message
+  /// length (std::invalid_argument otherwise).
   [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
                                                   std::size_t msg_bytes) override;
-  /// Analytical expected expansion for this key (src/core/analysis.hpp).
+  /// Analytical expected expansion for this key (src/core/analysis.hpp);
+  /// excludes the constant 16-byte header in sealed framing.
   [[nodiscard]] double expansion() const override { return expansion_; }
 
   [[nodiscard]] const core::Key& key() const noexcept { return key_; }
   [[nodiscard]] const core::BlockParams& params() const noexcept { return params_; }
+  [[nodiscard]] Framing framing() const noexcept { return framing_; }
 
  private:
   core::Key key_;
   std::uint64_t seed_;
   core::BlockParams params_;
+  Framing framing_;
+  core::Encryptor enc_;  // reusable core, reset per encrypt()
+  core::Decryptor dec_;  // reusable core, reset per decrypt()
   double expansion_;
 };
 

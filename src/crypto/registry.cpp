@@ -74,6 +74,16 @@ const CipherRegistry& CipherRegistry::builtin() {
                                            nonzero_seed(rng, cover_seed_bits(params)),
                                            params);
     });
+    // The framed/hardware configuration measured end to end through the
+    // core::seal/open container (16-byte self-describing header + blocks).
+    r.register_cipher("MHHEA-sealed", [](std::uint64_t seed) -> std::unique_ptr<Cipher> {
+      util::Xoshiro256 rng(seed);
+      const auto params = core::BlockParams::hardware();
+      core::Key key = core::Key::random(rng, kRegistryKeyPairs, params);
+      return std::make_unique<MhheaCipher>(std::move(key),
+                                           nonzero_seed(rng, cover_seed_bits(params)),
+                                           params, MhheaCipher::Framing::sealed);
+    });
     r.register_cipher("HHEA", [](std::uint64_t seed) -> std::unique_ptr<Cipher> {
       util::Xoshiro256 rng(seed);
       const auto params = core::BlockParams::paper();

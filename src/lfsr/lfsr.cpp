@@ -43,9 +43,68 @@ void Lfsr::advance(std::uint64_t n) noexcept {
   for (std::uint64_t i = 0; i < n; ++i) (void)step();
 }
 
-std::uint64_t Lfsr::next_block() noexcept {
-  advance(static_cast<std::uint64_t>(poly_.degree));
+const Lfsr::LeapTables& Lfsr::leap_tables() {
+  if (leap_ == nullptr) {
+    auto tables = std::make_shared<LeapTables>();
+    // Column b of the degree-step transition matrix: the state a single-bit
+    // start state reaches after `degree` plain steps. Deriving the tables
+    // from step() itself guarantees bit-exactness for both register forms.
+    std::array<std::uint32_t, 32> basis{};
+    for (int b = 0; b < poly_.degree; ++b) {
+      Lfsr probe(poly_, std::uint64_t{1} << b, form_);
+      probe.advance(static_cast<std::uint64_t>(poly_.degree));
+      basis[static_cast<std::size_t>(b)] = static_cast<std::uint32_t>(probe.state_);
+    }
+    // Expand to per-byte tables by linearity: T[v] = T[v minus lowest bit]
+    // XOR basis[lowest bit].
+    for (int byte = 0; byte < 4; ++byte) {
+      auto& t = (*tables)[static_cast<std::size_t>(byte)];
+      t[0] = 0;
+      for (unsigned v = 1; v < 256; ++v) {
+        const int bit = byte * 8 + std::countr_zero(v);
+        const std::uint32_t col =
+            bit < poly_.degree ? basis[static_cast<std::size_t>(bit)] : 0;
+        t[v] = t[v & (v - 1)] ^ col;
+      }
+    }
+    leap_ = std::move(tables);
+  }
+  return *leap_;
+}
+
+std::uint64_t Lfsr::next_block() {
+  const LeapTables& t = leap_tables();
+  const auto s = static_cast<std::uint32_t>(state_);
+  std::uint32_t next = t[0][s & 0xFF] ^ t[1][(s >> 8) & 0xFF];
+  if (poly_.degree > 16) next ^= t[2][(s >> 16) & 0xFF] ^ t[3][s >> 24];
+  state_ = next;
   return state_;
+}
+
+void Lfsr::next_blocks(std::span<std::uint64_t> out) {
+  const LeapTables& t = leap_tables();
+  auto s = static_cast<std::uint32_t>(state_);
+  if (poly_.degree <= 16) {
+    for (std::uint64_t& b : out) {
+      s = t[0][s & 0xFF] ^ t[1][s >> 8];
+      b = s;
+    }
+  } else {
+    for (std::uint64_t& b : out) {
+      s = t[0][s & 0xFF] ^ t[1][(s >> 8) & 0xFF] ^ t[2][(s >> 16) & 0xFF] ^
+          t[3][s >> 24];
+      b = s;
+    }
+  }
+  state_ = s;
+}
+
+void Lfsr::set_state(std::uint64_t state) {
+  state &= util::mask64(poly_.degree);
+  if (state == 0) {
+    throw std::invalid_argument("Lfsr: state must be non-zero in the low degree bits");
+  }
+  state_ = state;
 }
 
 Lfsr make_hiding_vector_lfsr(std::uint16_t seed) {

@@ -15,7 +15,10 @@
 // polynomial — 2^d - 1 when the polynomial is primitive.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <span>
 
 #include "src/lfsr/polynomials.hpp"
 
@@ -43,7 +46,22 @@ class Lfsr {
   /// Advance `degree` steps and return the new state — one "fresh" block.
   /// This is the hiding-vector source: for the paper's 16-bit LFSR, each
   /// call yields the next V ("Generate 16-bit randomly and set them in V").
-  [[nodiscard]] std::uint64_t next_block() noexcept;
+  ///
+  /// Implemented as a GF(2) leap: the `degree`-step transition is linear, so
+  /// it collapses to a handful of byte-indexed table lookups (built lazily on
+  /// first use and shared across copies). Bit-identical to advance(degree) —
+  /// the table is derived by running step() on basis states.
+  [[nodiscard]] std::uint64_t next_block();
+
+  /// Fill `out` with successive next_block() values (the word-at-a-time
+  /// hiding-vector port: one table-lookup chain per block, no per-call
+  /// dispatch).
+  void next_blocks(std::span<std::uint64_t> out);
+
+  /// Jump to an explicit state (low `degree` bits; must be non-zero after
+  /// masking, or std::invalid_argument). Lets a resettable cover source
+  /// re-seed without rebuilding the leap tables.
+  void set_state(std::uint64_t state);
 
   [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
   [[nodiscard]] int degree() const noexcept { return poly_.degree; }
@@ -56,11 +74,18 @@ class Lfsr {
   }
 
  private:
+  /// Per-byte leap tables: state after `degree` steps is the XOR of
+  /// leap[b][byte b of state] over the (up to 4) state bytes.
+  using LeapTables = std::array<std::array<std::uint32_t, 256>, 4>;
+
+  const LeapTables& leap_tables();
+
   Polynomial poly_;
   Form form_;
   std::uint64_t fib_mask_;     // taps for the Fibonacci feedback parity
   std::uint64_t galois_mask_;  // XOR constant for the Galois form
   std::uint64_t state_;
+  std::shared_ptr<const LeapTables> leap_;  // built lazily, shared by copies
 };
 
 /// The paper's hiding-vector generator: degree-16 primitive LFSR, Fibonacci

@@ -101,6 +101,20 @@ namespace mhhea::util {
   return (v & ~mask64(width)) == 0;
 }
 
+/// Read a little-endian unsigned integer of `n_bytes` (<= 8) bytes.
+[[nodiscard]] constexpr std::uint64_t load_le(const std::uint8_t* p, int n_bytes) noexcept {
+  assert(n_bytes >= 0 && n_bytes <= 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < n_bytes; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Write the low `n_bytes` (<= 8) bytes of `v` little-endian.
+constexpr void store_le(std::uint8_t* p, std::uint64_t v, int n_bytes) noexcept {
+  assert(n_bytes >= 0 && n_bytes <= 8);
+  for (int i = 0; i < n_bytes; ++i) p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+}
+
 /// Narrowing cast that asserts the value is representable (Core Guidelines
 /// ES.46 flavour without GSL).
 template <typename To, typename From>

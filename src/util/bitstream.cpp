@@ -1,6 +1,8 @@
 #include "src/util/bitstream.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "src/util/bits.hpp"
 
@@ -14,15 +16,29 @@ bool BitReader::read_bit() noexcept {
   return ((bytes_[byte] >> bit) & 1u) != 0;
 }
 
-std::uint64_t BitReader::read_bits(int n, int* read) noexcept {
+std::uint64_t BitReader::read_bits(int n, int* read) {
   assert(n >= 0 && n <= 64);
-  std::uint64_t v = 0;
-  int got = 0;
-  while (got < n && !eof()) {
-    v |= static_cast<std::uint64_t>(read_bit()) << got;
-    ++got;
+  const std::size_t avail = remaining_bits();
+  const int take =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(n), avail));
+  if (read != nullptr) {
+    *read = take;
+  } else if (take < n) {
+    throw std::out_of_range("BitReader::read_bits: fewer bits remain than requested");
   }
-  if (read != nullptr) *read = got;
+  // Gather whole bytes: at most ceil((take + 7) / 8) + 1 iterations, instead
+  // of one iteration per bit.
+  std::uint64_t v = 0;
+  int filled = 0;
+  while (filled < take) {
+    const int off = static_cast<int>(pos_ % 8);
+    const int nbits = std::min(8 - off, take - filled);
+    const std::uint64_t chunk =
+        (static_cast<std::uint64_t>(bytes_[pos_ / 8]) >> off) & mask64(nbits);
+    v |= chunk << filled;
+    filled += nbits;
+    pos_ += static_cast<std::size_t>(nbits);
+  }
   return v;
 }
 
@@ -42,7 +58,18 @@ void BitWriter::write_bit(bool b) {
 
 void BitWriter::write_bits(std::uint64_t v, int n) {
   assert(n >= 0 && n <= 64);
-  for (int i = 0; i < n; ++i) write_bit(get_bit(v, i) != 0);
+  v &= mask64(n);  // bits above n are ignored, as in the bit-by-bit form
+  const std::size_t needed = (bits_ + static_cast<std::size_t>(n) + 7) / 8;
+  if (out_.size() < needed) out_.resize(needed, 0);
+  int written = 0;
+  while (written < n) {
+    const int off = static_cast<int>(bits_ % 8);
+    const int nbits = std::min(8 - off, n - written);
+    out_[bits_ / 8] = static_cast<std::uint8_t>(
+        out_[bits_ / 8] | (((v >> written) & mask64(nbits)) << off));
+    written += nbits;
+    bits_ += static_cast<std::size_t>(nbits);
+  }
 }
 
 void BitWriter::align_to_byte() {

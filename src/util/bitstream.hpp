@@ -7,6 +7,10 @@
 //   * 16-bit hardware words are little-endian (byte[0] = bits 7..0).
 // This makes the software bit stream identical to the hardware view of the
 // message cache, which is what the co-simulation tests rely on.
+//
+// Multi-bit reads and writes move whole bytes at a time (the software
+// analogue of the hardware's word-wide message cache port), so the cipher
+// hot path never degenerates into a bit-by-bit loop.
 #pragma once
 
 #include <cstddef>
@@ -35,9 +39,15 @@ class BitReader {
   [[nodiscard]] bool read_bit() noexcept;
 
   /// Consume up to `n` (<=64) bits into the low bits of the result,
-  /// first-consumed bit at bit 0. If fewer than `n` remain, the high bits are
-  /// zero and the cursor stops at EOF; `read` receives the count consumed.
-  [[nodiscard]] std::uint64_t read_bits(int n, int* read = nullptr) noexcept;
+  /// first-consumed bit at bit 0.
+  ///
+  /// With `read` non-null a short read is a soft condition: if fewer than `n`
+  /// bits remain, the high bits are zero, the cursor stops at EOF and `read`
+  /// receives the count consumed. Without `read` an under-read throws
+  /// std::out_of_range — release builds must never silently embed fewer bits
+  /// than requested (the assert-only guard this replaces vanished under
+  /// NDEBUG).
+  [[nodiscard]] std::uint64_t read_bits(int n, int* read = nullptr);
 
   /// Peek one bit at offset `ahead` from the cursor without consuming.
   [[nodiscard]] bool peek_bit(std::size_t ahead = 0) const noexcept;
@@ -65,6 +75,14 @@ class BitWriter {
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return out_; }
   /// Move the buffer out (leaves the writer empty).
   [[nodiscard]] std::vector<std::uint8_t> take() noexcept;
+  /// Discard everything written, keeping the allocated capacity (the reuse
+  /// hook the resettable decryptor cores need).
+  void clear() noexcept {
+    out_.clear();
+    bits_ = 0;
+  }
+  /// Pre-allocate room for `n` more bits.
+  void reserve_bits(std::size_t n) { out_.reserve((bits_ + n + 7) / 8); }
 
  private:
   std::vector<std::uint8_t> out_;

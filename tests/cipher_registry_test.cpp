@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/frame.hpp"
 #include "src/core/mhhea.hpp"
 #include "src/crypto/batch.hpp"
 #include "src/crypto/cipher.hpp"
@@ -36,8 +37,8 @@ std::vector<std::size_t> sweep_lengths(util::Xoshiro256& rng) {
 
 TEST(CipherRegistry, BuiltinHasTheTableOneCiphers) {
   const auto& reg = CipherRegistry::builtin();
-  EXPECT_GE(reg.size(), 3u);
-  for (const char* name : {"MHHEA", "HHEA", "YAEA-S"}) {
+  EXPECT_GE(reg.size(), 4u);
+  for (const char* name : {"MHHEA", "MHHEA-sealed", "HHEA", "YAEA-S"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
   }
   const auto names = reg.names();
@@ -164,15 +165,54 @@ TEST(Batch, WorkerExceptionPropagates) {
 }
 
 TEST(MhheaCipherAdapter, MatchesCoreOneShot) {
-  // The adapter is a thin veneer over core::encrypt/decrypt — same bytes.
+  // The adapter reuses one resettable core, but its bytes must equal the
+  // one-shot core helpers — on every call, not just the first.
   util::Xoshiro256 rng(11);
   const auto params = core::BlockParams::paper();
   const core::Key key = core::Key::random(rng, 8, params);
   const auto msg = random_message(rng, 333);
   MhheaCipher cipher(key, 0xACE1, params);
   EXPECT_EQ(cipher.encrypt(msg), core::encrypt(msg, key, 0xACE1, params));
+  EXPECT_EQ(cipher.encrypt(msg), core::encrypt(msg, key, 0xACE1, params));
+  const auto other = random_message(rng, 100);
+  EXPECT_EQ(cipher.encrypt(other), core::encrypt(other, key, 0xACE1, params));
   EXPECT_EQ(cipher.name(), "MHHEA");
   EXPECT_GE(cipher.expansion(), 2.0);
+}
+
+TEST(MhheaCipherAdapter, SealedFramingMatchesCoreSealOpen) {
+  // The sealed adapter is the core::seal/open container through the Cipher
+  // interface — byte-identical framed output.
+  util::Xoshiro256 rng(12);
+  const auto params = core::BlockParams::hardware();
+  const core::Key key = core::Key::random(rng, 8, params);
+  const auto msg = random_message(rng, 222);
+  MhheaCipher cipher(key, 0xACE1, params, MhheaCipher::Framing::sealed);
+  EXPECT_EQ(cipher.name(), "MHHEA-sealed");
+  const auto ct = cipher.encrypt(msg);
+  EXPECT_EQ(ct, core::seal(msg, key, 0xACE1, params));
+  EXPECT_EQ(core::open(ct, key), msg);
+  EXPECT_EQ(cipher.decrypt(ct, msg.size()), msg);
+}
+
+TEST(MhheaCipherAdapter, SealedRejectsLengthAndHeaderMismatch) {
+  util::Xoshiro256 rng(13);
+  const auto params = core::BlockParams::hardware();
+  const core::Key key = core::Key::random(rng, 4, params);
+  const auto msg = random_message(rng, 50);
+  MhheaCipher cipher(key, 0xACE1, params, MhheaCipher::Framing::sealed);
+  const auto ct = cipher.encrypt(msg);
+  // Caller-declared length must agree with the header.
+  EXPECT_THROW((void)cipher.decrypt(ct, msg.size() + 1), std::invalid_argument);
+  // A raw (headerless) buffer is not a sealed frame.
+  MhheaCipher raw(key, 0xACE1, params);
+  const auto raw_ct = raw.encrypt(msg);
+  EXPECT_THROW((void)cipher.decrypt(raw_ct, msg.size()), std::invalid_argument);
+  // A sealed frame whose params disagree with the cipher's configuration.
+  MhheaCipher continuous(key, 0xACE1, core::BlockParams::paper(),
+                         MhheaCipher::Framing::sealed);
+  const auto other_ct = continuous.encrypt(msg);
+  EXPECT_THROW((void)cipher.decrypt(other_ct, msg.size()), std::invalid_argument);
 }
 
 }  // namespace

@@ -99,6 +99,77 @@ TEST(Frame, RejectsInconsistentLength) {
   EXPECT_THROW((void)open(framed, key), std::invalid_argument);
 }
 
+TEST(Frame, RejectsReservedFlagBits) {
+  // Bits 7..3 of the flags byte are reserved-zero; a parser that ignores
+  // them would silently accept frames a future version means differently.
+  const Key key = Key::parse("0-3");
+  const auto framed = seal(std::vector<std::uint8_t>{0x42}, key, 1);
+  for (int bit = 3; bit < 8; ++bit) {
+    auto corrupt = framed;
+    corrupt[5] = static_cast<std::uint8_t>(corrupt[5] | (1u << bit));
+    EXPECT_THROW((void)frame_decode(corrupt, nullptr), std::invalid_argument) << bit;
+  }
+}
+
+TEST(Frame, RejectsBadVectorSizeCode) {
+  const Key key = Key::parse("0-3");
+  auto framed = seal(std::vector<std::uint8_t>{0x42}, key, 1);
+  framed[5] = static_cast<std::uint8_t>((framed[5] & ~0x06) | (0x3 << 1));  // code 3
+  EXPECT_THROW((void)frame_decode(framed, nullptr), std::invalid_argument);
+}
+
+TEST(Frame, MalformedHeaderFuzz) {
+  // Systematic malformation sweep: every single-byte corruption of a
+  // strictly structural header byte (magic, version, reserved) must throw.
+  // Byte 5 (flags) is covered separately — its low bits encode legitimate
+  // parameter variation.
+  util::Xoshiro256 rng(17);
+  const Key key = Key::random(rng, 4);
+  const auto msg = random_message(rng, 33);
+  const auto framed = seal(msg, key, 0xACE1);
+  for (std::size_t pos : {0u, 1u, 2u, 3u, 4u, 6u, 7u}) {
+    for (int delta = 1; delta < 256; ++delta) {
+      auto corrupt = framed;
+      corrupt[pos] = static_cast<std::uint8_t>(corrupt[pos] ^ delta);
+      EXPECT_THROW((void)frame_decode(corrupt, nullptr), std::invalid_argument)
+          << "pos=" << pos << " delta=" << delta;
+    }
+  }
+}
+
+TEST(Frame, TruncatedHeaderFuzz) {
+  // Every prefix shorter than the 16-byte header must be rejected, not read
+  // out of bounds or misparsed.
+  util::Xoshiro256 rng(18);
+  const Key key = Key::random(rng, 4);
+  const auto framed = seal(random_message(rng, 20), key, 0xACE1);
+  for (std::size_t len = 0; len < FrameHeader::kSize; ++len) {
+    const std::vector<std::uint8_t> prefix(framed.begin(),
+                                           framed.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)frame_decode(prefix, nullptr), std::invalid_argument) << len;
+  }
+}
+
+TEST(Frame, LengthFieldFuzz) {
+  // Randomly perturbed message-length fields must never round-trip: either
+  // the header bounds check, the trailing-block check or the
+  // too-short check fires.
+  util::Xoshiro256 rng(19);
+  const Key key = Key::random(rng, 4);
+  const auto msg = random_message(rng, 40);
+  const auto framed = seal(msg, key, 0xACE1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupt = framed;
+    const std::uint64_t bogus = rng.next();
+    for (int i = 0; i < 8; ++i) {
+      corrupt[8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((bogus >> (8 * i)) & 0xFF);
+    }
+    if (bogus == msg.size() * 8) continue;  // astronomically unlikely
+    EXPECT_THROW((void)open(corrupt, key), std::invalid_argument) << bogus;
+  }
+}
+
 TEST(Frame, TruncatedPayloadThrows) {
   util::Xoshiro256 rng(3);
   const Key key = Key::random(rng, 4);

@@ -199,6 +199,74 @@ TEST(Encryptor, RejectsBadConstruction) {
                std::invalid_argument);
 }
 
+TEST(Encryptor, ResetReplaysTheSameStream) {
+  // A reset core re-seeds its cover, so repeated encryptions of different
+  // messages are bit-identical to fresh construction each time.
+  util::Xoshiro256 rng(14);
+  const Key key = Key::random(rng, 8);
+  Encryptor reused(key, make_lfsr_cover(16, 0xACE1));
+  for (std::size_t len : {5u, 96u, 1u, 0u, 333u}) {
+    const auto msg = random_message(rng, len);
+    reused.reset();
+    reused.feed(msg);
+    Encryptor fresh(key, make_lfsr_cover(16, 0xACE1));
+    fresh.feed(msg);
+    EXPECT_EQ(reused.cipher_bytes(), fresh.cipher_bytes()) << len;
+    EXPECT_EQ(reused.blocks(), fresh.blocks()) << len;
+    EXPECT_EQ(reused.message_bits(), len * 8);
+  }
+}
+
+TEST(Encryptor, ResetRewindsBufferCover) {
+  // Steganography mode: reset must restart from the first cover block.
+  util::Xoshiro256 rng(15);
+  const Key key = Key::parse("0-3,2-5");
+  std::vector<std::uint64_t> cover_blocks(300);
+  for (auto& b : cover_blocks) b = rng.below(0x10000);
+  const auto msg = random_message(rng, 16);
+  Encryptor enc(key, std::make_unique<BufferCover>(cover_blocks));
+  enc.feed(msg);
+  const auto first = enc.cipher_bytes();
+  enc.reset();
+  enc.feed(msg);
+  EXPECT_EQ(enc.cipher_bytes(), first);
+}
+
+TEST(Encryptor, ResetInteractsWithFramedPolicyAndIncrementalFeeds) {
+  // The tail-replay machinery must be fully cleared by reset(), in both
+  // framing policies, even when the previous message ended mid-frame.
+  util::Xoshiro256 rng(16);
+  const Key key = Key::random(rng, 4);
+  for (auto policy : {FramePolicy::continuous, FramePolicy::framed}) {
+    const BlockParams params{16, policy};
+    Encryptor reused(key, make_lfsr_cover(16, 0x77), params);
+    reused.feed(random_message(rng, 3));  // leaves a re-openable tail
+    const auto msg = random_message(rng, 41);
+    reused.reset();
+    reused.feed(std::span(msg).subspan(0, 7));
+    reused.feed(std::span(msg).subspan(7));
+    Encryptor fresh(key, make_lfsr_cover(16, 0x77), params);
+    fresh.feed(msg);
+    EXPECT_EQ(reused.blocks(), fresh.blocks());
+  }
+}
+
+TEST(Decryptor, ResetDecodesANewMessageLength) {
+  util::Xoshiro256 rng(17);
+  const Key key = Key::random(rng, 8);
+  Decryptor dec(key, 0);
+  for (std::size_t len : {64u, 3u, 0u, 200u}) {
+    const auto msg = random_message(rng, len);
+    const auto ct = encrypt(msg, key, 0xBEEF);
+    dec.reset(len * 8);
+    dec.feed_bytes(ct);
+    ASSERT_TRUE(dec.done()) << len;
+    auto back = dec.message();
+    back.resize(len);
+    EXPECT_EQ(back, msg) << len;
+  }
+}
+
 TEST(Decryptor, ExtraBlocksAfterDoneAreIgnored) {
   util::Xoshiro256 rng(13);
   const Key key = Key::random(rng, 2);

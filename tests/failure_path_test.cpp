@@ -15,6 +15,7 @@
 #include "src/crypto/hhea.hpp"
 #include "src/crypto/hhea_cipher.hpp"
 #include "src/crypto/mhhea_cipher.hpp"
+#include "src/util/bits.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -75,6 +76,94 @@ TEST(TruncatedCiphertext, MisalignedBufferThrows) {
   const std::vector<std::uint8_t> odd(5, 0);  // not a multiple of block_bytes
   EXPECT_THROW((void)core::decrypt(odd, key, 1), std::invalid_argument);
   EXPECT_THROW((void)crypto::hhea_decrypt(odd, key, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------- trailing cipher
+
+TEST(TrailingCiphertext, CoreDecryptRejectsExtraBlocks) {
+  // A too-long ciphertext must not round-trip silently: blocks after the
+  // message end carry no message bits and mean corruption or padding.
+  util::Xoshiro256 rng(31);
+  const core::Key key = core::Key::random(rng, 4);
+  const auto msg = some_message(32);
+  for (auto policy : {core::FramePolicy::continuous, core::FramePolicy::framed}) {
+    const core::BlockParams params{16, policy};
+    auto ct = core::encrypt(msg, key, 0xACE1, params);
+    EXPECT_EQ(core::decrypt(ct, key, msg.size(), params), msg);  // exact: fine
+    ct.push_back(0xAA);  // one whole extra block
+    ct.push_back(0x55);
+    EXPECT_THROW((void)core::decrypt(ct, key, msg.size(), params),
+                 std::invalid_argument);
+  }
+}
+
+TEST(TrailingCiphertext, HheaDecryptRejectsExtraBlocks) {
+  const core::Key key = core::Key::parse("0-3,2-5");
+  const auto msg = some_message(32);
+  auto ct = crypto::hhea_encrypt(msg, key, 0xACE1);
+  ct.insert(ct.end(), {0xAA, 0x55});
+  EXPECT_THROW((void)crypto::hhea_decrypt(ct, key, msg.size()), std::invalid_argument);
+}
+
+TEST(TrailingCiphertext, ZeroLengthMessageWithPayloadThrows) {
+  const core::Key key = core::Key::parse("0-3");
+  const std::vector<std::uint8_t> two_blocks = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_THROW((void)core::decrypt(two_blocks, key, 0), std::invalid_argument);
+}
+
+TEST(TrailingCiphertext, StreamingFeedBlockAfterDoneStaysIgnorable) {
+  // The explicit streaming API keeps its lenient contract: feed_block once
+  // done returns 0. Only the buffer-level feed_bytes treats it as an error.
+  util::Xoshiro256 rng(32);
+  const core::Key key = core::Key::random(rng, 2);
+  const auto msg = some_message(8);
+  const auto ct = core::encrypt(msg, key, 0xACE1);
+  core::Decryptor dec(key, msg.size() * 8);
+  dec.feed_bytes(ct);
+  ASSERT_TRUE(dec.done());
+  EXPECT_EQ(dec.feed_block(0xFFFF), 0);
+  const std::vector<std::uint8_t> extra = {0xAA, 0x55};
+  EXPECT_THROW(dec.feed_bytes(extra), std::invalid_argument);
+}
+
+// ------------------------------------------------------ cover exhaustion
+
+TEST(CoverExhaustion, BufferCoverRunsDryMidMessage) {
+  // Steganography mode with a cover shorter than the stego object: the
+  // encryptor makes progress while cover remains, then throws — and never
+  // claims the message was embedded.
+  const core::Key key = core::Key::parse("0-3");
+  std::vector<std::uint64_t> short_cover(8);
+  for (std::size_t i = 0; i < short_cover.size(); ++i) short_cover[i] = 0x1111 * (i + 1);
+  core::Encryptor enc(key, std::make_unique<core::BufferCover>(short_cover));
+  const auto msg = some_message(64);  // needs far more than 8 blocks
+  EXPECT_THROW(enc.feed(msg), std::runtime_error);
+  // Everything the cover could carry was embedded before the failure.
+  EXPECT_EQ(enc.blocks().size(), short_cover.size());
+  EXPECT_GT(enc.message_bits(), 0u);
+}
+
+TEST(CoverExhaustion, NextBlocksReportsPartialFill) {
+  core::BufferCover cover({0xAAAA, 0xBBBB, 0xCCCC});
+  std::vector<std::uint64_t> out(8, 0);
+  EXPECT_EQ(cover.next_blocks(16, out), 3u);
+  EXPECT_EQ(out[0], 0xAAAAu);
+  EXPECT_EQ(out[2], 0xCCCCu);
+  EXPECT_EQ(cover.next_blocks(16, out), 0u);  // exhausted: no throw, 0 filled
+  EXPECT_THROW((void)cover.next_block(16), std::runtime_error);  // scalar form throws
+  cover.reset();
+  EXPECT_EQ(cover.remaining(), 3u);
+}
+
+TEST(CoverExhaustion, NonResettableSourceSaysSo) {
+  // A CoverSource that does not override reset() must refuse, so a
+  // resettable cipher core cannot silently reuse a drained one-shot cover.
+  class OneShotCover final : public core::CoverSource {
+   public:
+    std::uint64_t next_block(int bits) override { return 0x5A5A & util::mask64(bits); }
+  };
+  OneShotCover cover;
+  EXPECT_THROW(cover.reset(), std::logic_error);
 }
 
 // -------------------------------------------------- key/params mismatches

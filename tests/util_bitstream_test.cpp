@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "src/util/rng.hpp"
@@ -48,6 +49,49 @@ TEST(BitReader, PartialReadAtEof) {
   EXPECT_EQ(got, 0);
 }
 
+TEST(BitReader, UnderReadWithoutOutParamThrows) {
+  // Without the out-param there is no way to observe a short read, so it
+  // must be an error in every build mode — not an assert that vanishes
+  // under NDEBUG and silently embeds zero bits.
+  const std::array<std::uint8_t, 1> data = {0xFF};
+  BitReader r(data);
+  EXPECT_EQ(r.read_bits(6), 0b111111u);
+  EXPECT_THROW((void)r.read_bits(3), std::out_of_range);
+  // The failed read consumes nothing; a sized read still works.
+  EXPECT_EQ(r.remaining_bits(), 2u);
+  EXPECT_EQ(r.read_bits(2), 0b11u);
+  EXPECT_THROW((void)r.read_bits(1), std::out_of_range);
+  EXPECT_EQ(r.read_bits(0), 0u);  // zero-bit read is always satisfiable
+}
+
+TEST(BitReader, BulkReadMatchesBitByBit) {
+  // The word-at-a-time fast path must agree with the single-bit reference
+  // for every (offset, width) shape.
+  Xoshiro256 rng(0xB17);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  for (int trial = 0; trial < 2000; ++trial) {
+    BitReader bulk(data);
+    BitReader ref(data);
+    // Random pre-read to de-align the cursor.
+    const int skip = static_cast<int>(rng.below(40));
+    (void)bulk.read_bits(skip);
+    (void)ref.read_bits(skip);
+    const int n = static_cast<int>(rng.below(65));
+    int got_bulk = 0;
+    const std::uint64_t v = bulk.read_bits(n, &got_bulk);
+    std::uint64_t expect = 0;
+    int got_ref = 0;
+    while (got_ref < n && !ref.eof()) {
+      expect |= static_cast<std::uint64_t>(ref.read_bit()) << got_ref;
+      ++got_ref;
+    }
+    ASSERT_EQ(v, expect) << "skip=" << skip << " n=" << n;
+    ASSERT_EQ(got_bulk, got_ref);
+    ASSERT_EQ(bulk.position(), ref.position());
+  }
+}
+
 TEST(BitReader, PeekDoesNotConsume) {
   const std::array<std::uint8_t, 1> data = {0b101};
   BitReader r(data);
@@ -87,6 +131,31 @@ TEST(BitWriter, WriteBitsMatchesBitByBit) {
   a.write_bits(0xCA06, 16);
   for (int i = 0; i < 16; ++i) b.write_bit(((0xCA06 >> i) & 1) != 0);
   EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(BitWriter, BulkWritesMatchBitByBitAcrossAlignments) {
+  // Same fast-path-vs-reference sweep as the reader: random widths keep the
+  // cursor at every in-byte alignment, and high garbage bits are ignored.
+  Xoshiro256 rng(0x3117);
+  BitWriter bulk, ref;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int n = static_cast<int>(rng.below(65));
+    const std::uint64_t v = rng.next();  // bits above n must be ignored
+    bulk.write_bits(v, n);
+    for (int i = 0; i < n; ++i) ref.write_bit(((v >> i) & 1) != 0);
+    ASSERT_EQ(bulk.size_bits(), ref.size_bits()) << trial;
+  }
+  EXPECT_EQ(bulk.bytes(), ref.bytes());
+}
+
+TEST(BitWriter, ClearKeepsNothing) {
+  BitWriter w;
+  w.write_bits(0xABCD, 16);
+  w.clear();
+  EXPECT_EQ(w.size_bits(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+  w.write_bits(0b101, 3);
+  EXPECT_EQ(w.bytes().at(0), 0b101);
 }
 
 TEST(BitWriter, AlignToBytePadsWithZeros) {
