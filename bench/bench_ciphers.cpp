@@ -10,13 +10,19 @@
 // per-block latency. A decrypt round-trip of the first message guards
 // against benchmarking a broken configuration.
 //
-// Usage: bench_ciphers [--out FILE] [--quick] [--threads N] [--seed S]
+// Usage: bench_ciphers [--out FILE] [--quick] [--threads N] [--shards N]
+//                      [--seed S]
 //   --threads N  multi-thread column to sweep alongside 1 (default: hardware
 //                concurrency; the sweep is {1} only on a single-core host —
 //                oversubscribing one core measures scheduler noise, not the
 //                cipher)
+//   --shards N   intra-message shard counts to sweep at threads=1: {2,4,8}
+//                clamped to N (default: hardware concurrency, so the shard
+//                sweep is empty on a single-core host; pass --shards
+//                explicitly to measure sharding overhead there)
 //   --seed S     registry key/nonce derivation seed (decimal or 0x hex), for
 //                reproducible runs
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -45,10 +52,19 @@ constexpr std::uint64_t kDefaultCipherSeed = 0xB0A710ADULL;  // registry key/non
 std::uint64_t g_cipher_seed = kDefaultCipherSeed;
 constexpr std::size_t kTargetBatchBytes = 1 << 20;  // ~1 MiB plaintext per batch
 
+/// One sweep column: how many batch workers and how many intra-message
+/// shards per cipher instance. The thread sweep runs at shards=1 and the
+/// shard sweep at threads=1, so each axis is measured in isolation.
+struct SweepColumn {
+  int threads = 1;
+  int shards = 1;
+};
+
 struct CellResult {
   std::string cipher;
   std::size_t msg_bytes = 0;
   int threads = 0;
+  int shards = 1;
   std::size_t batch_size = 0;
   std::size_t reps = 0;
   double mb_per_s_mean = 0.0;
@@ -59,10 +75,11 @@ struct CellResult {
 };
 
 void cell_fill(CellResult& cell, const std::string& name, std::size_t msg_bytes,
-               int threads, std::size_t batch_size, std::size_t reps) {
+               SweepColumn col, std::size_t batch_size, std::size_t reps) {
   cell.cipher = name;
   cell.msg_bytes = msg_bytes;
-  cell.threads = threads;
+  cell.threads = col.threads;
+  cell.shards = col.shards;
   cell.batch_size = batch_size;
   cell.reps = reps;
 }
@@ -78,32 +95,52 @@ std::vector<std::vector<std::uint8_t>> make_messages(std::size_t msg_bytes,
   return msgs;
 }
 
-/// Measure one (cipher, msg_bytes) pair at every thread count, interleaving
-/// the repetitions across thread counts so clock drift and cache warm-up
-/// bias no single column. Returns one cell per thread count.
+/// Measure one (cipher, msg_bytes) pair at every sweep column, interleaving
+/// the repetitions across columns so clock drift and cache warm-up bias no
+/// single column. Returns one cell per column.
 std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes,
-                                  const std::vector<int>& thread_counts,
+                                  const std::vector<SweepColumn>& columns,
                                   std::size_t reps) {
+  int max_threads = 1;
+  int max_shards = 1;
+  for (const SweepColumn& c : columns) {
+    max_threads = std::max(max_threads, c.threads);
+    max_shards = std::max(max_shards, c.shards);
+  }
   const std::size_t batch_size =
       std::max<std::size_t>(kTargetBatchBytes / std::max<std::size_t>(msg_bytes, 1),
-                            static_cast<std::size_t>(thread_counts.back()) * 4);
+                            static_cast<std::size_t>(max_threads) * 4);
   const auto msgs = make_messages(msg_bytes, batch_size);
-  const auto maker = [&] { return CipherRegistry::builtin().make(name, g_cipher_seed); };
+  const auto maker_for = [&](int shards) {
+    return [&, shards] { return CipherRegistry::builtin().make(name, g_cipher_seed, shards); };
+  };
 
-  // Correctness guard + warm-up: round-trip the first message once.
+  // Correctness guard + warm-up: round-trip the first message once, and pin
+  // the sharded column to the sequential bytes before timing it.
   {
-    auto cipher = maker();
+    auto cipher = maker_for(1)();
     const auto ct = cipher->encrypt(msgs[0]);
     if (cipher->decrypt(ct, msgs[0].size()) != msgs[0]) {
       throw std::runtime_error("bench: " + name + " failed its round-trip check");
     }
+    if (max_shards > 1 && maker_for(max_shards)()->encrypt(msgs[0]) != ct) {
+      throw std::runtime_error("bench: " + name + " sharded ciphertext diverged");
+    }
   }
 
-  std::vector<CellResult> cells(thread_counts.size());
-  std::vector<mhhea::util::RunningStats> mbps(thread_counts.size());
-  std::vector<mhhea::util::RunningStats> nspb(thread_counts.size());
-  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
-    cell_fill(cells[t], name, msg_bytes, thread_counts[t], batch_size, reps);
+  std::vector<CellResult> cells(columns.size());
+  std::vector<mhhea::util::RunningStats> mbps(columns.size());
+  std::vector<mhhea::util::RunningStats> nspb(columns.size());
+  // Pre-built cipher per threads=1 column: cipher construction (which for a
+  // sharded cipher spawns and later joins its worker pool) must not sit
+  // inside the timed window, or the shard columns carry a fixed per-rep cost
+  // the shards=1 baseline doesn't and shard_speedup reads biased low.
+  // Multi-thread columns go through encrypt_batch, which necessarily
+  // constructs its per-worker ciphers inside the window for every column.
+  std::vector<std::unique_ptr<mhhea::crypto::Cipher>> col_cipher(columns.size());
+  for (std::size_t t = 0; t < columns.size(); ++t) {
+    cell_fill(cells[t], name, msg_bytes, columns[t], batch_size, reps);
+    if (columns[t].threads == 1) col_cipher[t] = maker_for(columns[t].shards)();
   }
   const double plain_mb =
       static_cast<double>(msg_bytes) * static_cast<double>(batch_size) / 1.0e6;
@@ -111,9 +148,17 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
   // byte).
   const double block_bytes = name == "YAEA-S" ? 1.0 : 2.0;
   for (std::size_t r = 0; r < reps; ++r) {
-    for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    for (std::size_t t = 0; t < columns.size(); ++t) {
+      const auto maker = maker_for(columns[t].shards);
+      std::vector<std::vector<std::uint8_t>> cts;
       const auto t0 = Clock::now();
-      const auto cts = mhhea::crypto::encrypt_batch(maker, msgs, thread_counts[t]);
+      if (columns[t].threads == 1) {
+        // Same work as encrypt_batch at one thread, minus the construction.
+        cts.reserve(msgs.size());
+        for (const auto& m : msgs) cts.push_back(col_cipher[t]->encrypt(m));
+      } else {
+        cts = mhhea::crypto::encrypt_batch(maker, msgs, columns[t].threads);
+      }
       const auto t1 = Clock::now();
       const double secs = std::chrono::duration<double>(t1 - t0).count();
       mbps[t].add(plain_mb / secs);
@@ -125,7 +170,7 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
           (static_cast<double>(msg_bytes) * static_cast<double>(batch_size));
     }
   }
-  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+  for (std::size_t t = 0; t < columns.size(); ++t) {
     cells[t].mb_per_s_mean = mbps[t].mean();
     cells[t].mb_per_s_max = mbps[t].max();
     cells[t].mb_per_s_stddev = mbps[t].stddev();
@@ -157,7 +202,7 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_json(const std::string& path, const std::vector<CellResult>& cells,
-                int max_threads) {
+                int max_threads, int max_shards) {
   std::ostringstream os;
   os.precision(6);
   os << "{\n";
@@ -165,14 +210,17 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   os << "  \"seed\": " << g_cipher_seed << ",\n";
   os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
   os << "  \"max_threads\": " << max_threads << ",\n";
+  os << "  \"max_shards\": " << max_shards << ",\n";
   // Aggregate batch scaling per cipher: total best-rep throughput across
-  // message sizes at max_threads over the same at one thread. Only emitted
-  // when a multi-thread column was actually swept — on a single-core host
-  // the sweep is {1} and a "speedup" would be meaningless noise.
+  // message sizes at max_threads over the same at one thread (both at
+  // shards=1). Only emitted when a multi-thread column was actually swept —
+  // on a single-core host the sweep is {1} and a "speedup" would be
+  // meaningless noise.
   os << "  \"batch_speedup\": {";
   if (max_threads > 1) {
     std::map<std::string, std::array<double, 2>> sums;
     for (const auto& c : cells) {
+      if (c.shards != 1) continue;
       sums[c.cipher][c.threads == 1 ? 0 : 1] += c.mb_per_s_max;
     }
     bool first = true;
@@ -183,11 +231,49 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
     }
   }
   os << "},\n";
+  // Aggregate intra-message scaling per cipher: for each shard count, total
+  // best-rep throughput over the shards=1 total across the SAME message
+  // sizes, at threads=1; report the best count's ratio. A (size, shards)
+  // cell only counts when size >= shards * kMinShardMsgBytes — below that
+  // the adapters' per-shard minimum clamps the effective count, so the cell
+  // times a partly or fully sequential path and would dilute the metric
+  // toward 1. Same single-core caveat as above.
+  os << "  \"shard_speedup\": {";
+  if (max_shards > 1) {
+    // cipher -> shards -> msg_bytes -> best-rep MB/s (threads=1 cells only)
+    std::map<std::string, std::map<int, std::map<std::size_t, double>>> grid;
+    for (const auto& c : cells) {
+      if (c.threads == 1) grid[c.cipher][c.shards][c.msg_bytes] = c.mb_per_s_max;
+    }
+    bool first = true;
+    for (const auto& [name, by_shards] : grid) {
+      double best = 0.0;
+      const auto base_it = by_shards.find(1);
+      for (const auto& [shards, by_size] : by_shards) {
+        if (shards == 1 || base_it == by_shards.end()) continue;
+        double num = 0.0;
+        double den = 0.0;
+        for (const auto& [size, mbps] : by_size) {
+          if (size < static_cast<std::size_t>(shards) * mhhea::crypto::kMinShardMsgBytes)
+            continue;
+          const auto b = base_it->second.find(size);
+          if (b == base_it->second.end()) continue;
+          num += mbps;
+          den += b->second;
+        }
+        if (den > 0.0) best = std::max(best, num / den);
+      }
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": " << best;
+      first = false;
+    }
+  }
+  os << "},\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];
     os << "    {\"cipher\": \"" << json_escape(c.cipher) << "\", \"msg_bytes\": "
-       << c.msg_bytes << ", \"threads\": " << c.threads << ", \"batch_size\": "
+       << c.msg_bytes << ", \"threads\": " << c.threads << ", \"shards\": " << c.shards
+       << ", \"batch_size\": "
        << c.batch_size << ", \"reps\": " << c.reps << ", \"mb_per_s_mean\": "
        << c.mb_per_s_mean << ", \"mb_per_s_max\": " << c.mb_per_s_max
        << ", \"mb_per_s_stddev\": " << c.mb_per_s_stddev << ", \"expansion\": "
@@ -206,6 +292,7 @@ int main(int argc, char** argv) try {
   std::string out_path = "BENCH_ciphers.json";
   bool quick = false;
   int threads_flag = 0;  // 0 = derive from hardware
+  int shards_flag = 0;   // 0 = derive from hardware
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -218,13 +305,21 @@ int main(int argc, char** argv) try {
         return 2;
       }
       threads_flag = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      std::uint64_t v = 0;
+      if (!parse_u64(argv[++i], &v) || v < 1 || v > 1024) {
+        std::cerr << "bench_ciphers: --shards must be an integer in [1, 1024]\n";
+        return 2;
+      }
+      shards_flag = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       if (!parse_u64(argv[++i], &g_cipher_seed) || g_cipher_seed == 0) {
         std::cerr << "bench_ciphers: --seed must be a non-zero 64-bit integer\n";
         return 2;
       }
     } else {
-      std::cerr << "usage: bench_ciphers [--out FILE] [--quick] [--threads N] [--seed S]\n";
+      std::cerr << "usage: bench_ciphers [--out FILE] [--quick] [--threads N] "
+                   "[--shards N] [--seed S]\n";
       return 2;
     }
   }
@@ -236,17 +331,26 @@ int main(int argc, char** argv) try {
   // overrides the clamp for deliberate oversubscription experiments.
   const int max_threads =
       threads_flag > 0 ? threads_flag : static_cast<int>(hw > 0 ? hw : 1);
-  std::vector<int> thread_counts = {1};
-  if (max_threads > 1) thread_counts.push_back(max_threads);
+  // The shard sweep gets the same clamp-to-hardware treatment (sharding one
+  // core measures dispatch overhead, not parallelism) and, like --threads,
+  // --shards overrides it for deliberate overhead measurements.
+  const int max_shards =
+      shards_flag > 0 ? shards_flag : static_cast<int>(hw > 0 ? hw : 1);
+  std::vector<SweepColumn> columns = {{1, 1}};
+  if (max_threads > 1) columns.push_back({max_threads, 1});
+  for (int s : {2, 4, 8}) {
+    if (s <= max_shards) columns.push_back({1, s});
+  }
   const std::vector<std::size_t> sizes = {64, 1024, 16384};
   const std::size_t reps = quick ? 2 : 9;
 
   std::vector<CellResult> cells;
   for (const auto& name : CipherRegistry::builtin().names()) {
     for (std::size_t msg_bytes : sizes) {
-      for (auto& cell : run_cells(name, msg_bytes, thread_counts, reps)) {
+      for (auto& cell : run_cells(name, msg_bytes, columns, reps)) {
         std::cout << cell.cipher << " msg=" << cell.msg_bytes << "B threads="
-                  << cell.threads << " batch=" << cell.batch_size << ": "
+                  << cell.threads << " shards=" << cell.shards << " batch="
+                  << cell.batch_size << ": "
                   << cell.mb_per_s_mean << " MB/s (max " << cell.mb_per_s_max
                   << ", sd " << cell.mb_per_s_stddev << "), expansion "
                   << cell.expansion << ", " << cell.ns_per_block << " ns/block\n";
@@ -255,7 +359,7 @@ int main(int argc, char** argv) try {
     }
   }
 
-  write_json(out_path, cells, max_threads);
+  write_json(out_path, cells, max_threads, max_shards);
   std::cout << "wrote " << out_path << "\n";
   return 0;
 } catch (const std::exception& e) {

@@ -1,0 +1,396 @@
+#include "src/core/shard.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "src/core/block.hpp"
+#include "src/core/mhhea.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/bitstream.hpp"
+
+namespace mhhea::core {
+
+namespace {
+
+using detail::ShardRange;
+using detail::cover_at;
+constexpr std::size_t kFetchChunk = detail::kShardFetchChunk;
+
+// ------------------------------------------------------------- encryption
+
+/// Capacity of one block range: how many blocks the cover yielded (fewer
+/// than asked only when a finite cover ran dry) and how many message bits
+/// they can hold. Runs independently per chunk — this is the parallel half
+/// of the continuous-policy plan.
+struct ChunkCap {
+  std::uint64_t blocks = 0;
+  std::uint64_t bits = 0;
+};
+
+ChunkCap scan_chunk(const CoverSource& proto, const std::vector<detail::PairCtx>& pairs,
+                    const BlockParams& params, std::uint64_t block_begin,
+                    std::uint64_t want_blocks) {
+  const auto cover = cover_at(proto, params, block_begin);
+  std::size_t pair_idx = static_cast<std::size_t>(block_begin % pairs.size());
+  ChunkCap cap;
+  std::array<std::uint64_t, kFetchChunk> buf;
+  while (cap.blocks < want_blocks) {
+    const auto want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kFetchChunk, want_blocks - cap.blocks));
+    const std::size_t got = cover->next_blocks(params.vector_bits, std::span(buf.data(), want));
+    for (std::size_t i = 0; i < got; ++i) {
+      cap.bits += static_cast<std::uint64_t>(
+          scramble_range(buf[i], pairs[pair_idx].pair, params).width());
+      if (++pair_idx == pairs.size()) pair_idx = 0;
+    }
+    cap.blocks += got;
+    if (got < want) break;  // finite cover exhausted inside this chunk
+  }
+  return cap;
+}
+
+/// Continuous-policy plan: scan block capacities in parallel chunks until
+/// they cover the message, then walk the chunk sums into <= n_shards
+/// balanced shard ranges (boundaries at chunk granularity, so every shard's
+/// n_bits is exactly the capacity of its blocks).
+std::vector<ShardRange> plan_continuous(const CoverSource& proto,
+                                        const std::vector<detail::PairCtx>& pairs,
+                                        const BlockParams& params, std::uint64_t total_bits,
+                                        std::size_t n_shards, util::ThreadPool* pool) {
+  // Chunk size: aim for a few chunks per shard (balance) without degrading
+  // to per-block dispatch; ~3 bits/block is the seed-measured mean capacity.
+  const std::uint64_t est_blocks = total_bits / 3 + 1;
+  const std::uint64_t chunk_blocks =
+      std::clamp<std::uint64_t>(est_blocks / (4 * n_shards) + 1, 16, 4096);
+
+  std::vector<ChunkCap> chunks;
+  std::uint64_t cap_sum = 0;
+  bool exhausted = false;
+  while (cap_sum < total_bits && !exhausted) {
+    const std::uint64_t deficit = total_bits - cap_sum;
+    const auto n_new = static_cast<std::size_t>(deficit / (3 * chunk_blocks) + 1);
+    const std::size_t base = chunks.size();
+    chunks.resize(base + n_new);
+    util::run_indexed(pool, n_new, [&](std::size_t i) {
+      const std::uint64_t begin = static_cast<std::uint64_t>(base + i) * chunk_blocks;
+      chunks[base + i] = scan_chunk(proto, pairs, params, begin, chunk_blocks);
+    });
+    for (std::size_t i = base; i < chunks.size(); ++i) {
+      cap_sum += chunks[i].bits;
+      if (chunks[i].blocks < chunk_blocks) {
+        // The cover ran dry in this chunk; later chunks saw nothing.
+        exhausted = true;
+        chunks.resize(i + 1);
+        break;
+      }
+    }
+  }
+  if (cap_sum < total_bits) {
+    throw std::runtime_error("encrypt_sharded: cover source exhausted");
+  }
+
+  // Greedy balanced grouping: each shard accumulates whole chunks until it
+  // holds its (recomputed) fair share of the remaining bits.
+  std::vector<ShardRange> ranges;
+  std::uint64_t bit = 0;
+  std::uint64_t block = 0;
+  std::size_t c = 0;
+  while (bit < total_bits) {
+    const std::size_t shards_left = n_shards - ranges.size();
+    const std::uint64_t remaining = total_bits - bit;
+    const std::uint64_t goal =
+        shards_left <= 1 ? remaining : (remaining + shards_left - 1) / shards_left;
+    ShardRange r{block, bit, 0, 0};
+    while (c < chunks.size() && r.n_bits < goal && bit < total_bits) {
+      r.max_blocks += chunks[c].blocks;
+      r.n_bits += chunks[c].bits;
+      bit += chunks[c].bits;
+      block += chunks[c].blocks;
+      ++c;
+    }
+    if (bit > total_bits) {
+      // Only the message-final shard overshoots (within its last chunk).
+      r.n_bits -= bit - total_bits;
+      bit = total_bits;
+    }
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+/// Framed-policy encrypt plan: the shared frame walk fed by scramble widths
+/// of a sequentially fetched cover stream.
+std::vector<ShardRange> plan_framed(const CoverSource& proto,
+                                    const std::vector<detail::PairCtx>& pairs,
+                                    const BlockParams& params, std::uint64_t total_bits,
+                                    std::size_t n_shards) {
+  const auto cover = cover_at(proto, params, 0);
+  std::array<std::uint64_t, kFetchChunk> buf;
+  std::size_t pos = 0;
+  std::size_t len = 0;
+  std::size_t pair_idx = 0;
+  return detail::plan_framed_walk(params, total_bits, n_shards, [&](std::uint64_t) {
+    if (pos == len) {
+      len = cover->next_blocks(params.vector_bits, std::span(buf.data(), kFetchChunk));
+      pos = 0;
+      if (len == 0) throw std::runtime_error("encrypt_sharded: cover source exhausted");
+    }
+    const ScrambledRange r = scramble_range(buf[pos++], pairs[pair_idx].pair, params);
+    if (++pair_idx == pairs.size()) pair_idx = 0;
+    return r.width();
+  });
+}
+
+/// Embed one shard: message bits [bit_begin, bit_begin + n_bits) into blocks
+/// serialized at out + block_begin * block_bytes. Returns blocks emitted —
+/// equal to max_blocks everywhere except the trailing continuous shard.
+std::uint64_t encrypt_range(const ShardRange& r, std::span<const std::uint8_t> msg,
+                            const std::vector<detail::PairCtx>& pairs,
+                            const CoverSource& proto, const BlockParams& params,
+                            std::uint8_t* out) {
+  const auto cover = cover_at(proto, params, r.block_begin);
+  util::BitReader reader(msg);
+  reader.seek(static_cast<std::size_t>(r.bit_begin));
+  const bool framed = params.policy == FramePolicy::framed;
+  const int bb = params.block_bytes();
+  std::size_t pair_idx = static_cast<std::size_t>(r.block_begin % pairs.size());
+  std::uint64_t remaining = r.n_bits;
+  std::uint64_t emitted = 0;
+  int frame_remaining = 0;  // shard boundaries are frame starts
+  std::array<std::uint64_t, kFetchChunk> buf;
+  std::size_t pos = 0;
+  std::size_t len = 0;
+  std::uint8_t* dst = out + r.block_begin * static_cast<std::uint64_t>(bb);
+  while (remaining > 0) {
+    if (framed && frame_remaining == 0) {
+      frame_remaining = static_cast<int>(
+          std::min<std::uint64_t>(remaining, static_cast<std::uint64_t>(params.vector_bits)));
+    }
+    if (pos == len) {
+      // Never fetch past the planned block range, so finite covers are
+      // consumed exactly as in the sequential formulation.
+      const auto want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kFetchChunk, r.max_blocks - emitted));
+      len = cover->next_blocks(params.vector_bits, std::span(buf.data(), want));
+      pos = 0;
+      if (len == 0) throw std::runtime_error("encrypt_sharded: cover source exhausted");
+    }
+    const std::uint64_t v = buf[pos++];
+    const detail::PairCtx& pc = pairs[pair_idx];
+    if (++pair_idx == pairs.size()) pair_idx = 0;
+    const ScrambledRange range = scramble_range(v, pc.pair, params);
+    const int cap = framed ? std::min(range.width(), frame_remaining) : range.width();
+    const int w = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(cap), remaining));
+    const std::uint64_t ct =
+        embed_bits_with_pattern(v, range.kn1, pc.pattern, reader.read_bits(w), w);
+    util::store_le(dst, ct, bb);
+    dst += bb;
+    ++emitted;
+    remaining -= static_cast<std::uint64_t>(w);
+    if (framed) frame_remaining -= w;
+  }
+  return emitted;
+}
+
+// ------------------------------------------------------------- decryption
+
+/// Extract one shard's blocks into a private bit buffer. Continuous shards
+/// take every block's full width (the global message-end cap is applied at
+/// splice time); framed shards replay the frame budget against their own bit
+/// count, which the plan made self-contained by aligning shards to frames.
+struct ExtractResult {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t bits = 0;
+  int last_width = 0;  // width of the shard's final block (trailing check)
+};
+
+ExtractResult extract_range(std::span<const std::uint8_t> cipher, const ShardRange& r,
+                            const std::vector<detail::PairCtx>& pairs,
+                            const BlockParams& params) {
+  const bool framed = params.policy == FramePolicy::framed;
+  const int bb = params.block_bytes();
+  const int h = params.half();
+  std::size_t pair_idx = static_cast<std::size_t>(r.block_begin % pairs.size());
+  util::BitWriter out;
+  out.reserve_bits(static_cast<std::size_t>(r.max_blocks) * static_cast<std::size_t>(h));
+  ExtractResult res;
+  std::uint64_t remaining = r.n_bits;  // framed only
+  int frame_remaining = 0;
+  const std::uint8_t* src = cipher.data() + r.block_begin * static_cast<std::uint64_t>(bb);
+  for (std::uint64_t b = 0; b < r.max_blocks; ++b, src += bb) {
+    const std::uint64_t v = util::load_le(src, bb);
+    const detail::PairCtx& pc = pairs[pair_idx];
+    if (++pair_idx == pairs.size()) pair_idx = 0;
+    const ScrambledRange range = scramble_range(v, pc.pair, params);
+    int w = range.width();
+    if (framed) {
+      if (frame_remaining == 0) {
+        frame_remaining = static_cast<int>(std::min<std::uint64_t>(
+            remaining, static_cast<std::uint64_t>(params.vector_bits)));
+      }
+      w = std::min(w, frame_remaining);
+      frame_remaining -= w;
+      remaining -= static_cast<std::uint64_t>(w);
+    }
+    out.write_bits(extract_bits_with_pattern(v, range.kn1, pc.pattern, w), w);
+    res.bits += static_cast<std::uint64_t>(w);
+    res.last_width = w;
+  }
+  res.bytes = out.take();
+  return res;
+}
+
+/// Framed-policy decrypt plan: the shared frame walk fed by scramble widths
+/// recomputed from the ciphertext blocks' unmodified high halves. Doubles as
+/// the strict truncated/trailing validation.
+std::vector<ShardRange> plan_framed_decrypt(std::span<const std::uint8_t> cipher,
+                                            const std::vector<detail::PairCtx>& pairs,
+                                            const BlockParams& params,
+                                            std::uint64_t total_bits, std::size_t n_shards) {
+  const int bb = params.block_bytes();
+  const std::uint64_t n_blocks = cipher.size() / static_cast<std::size_t>(bb);
+  std::size_t pair_idx = 0;
+  std::vector<ShardRange> ranges =
+      detail::plan_framed_walk(params, total_bits, n_shards, [&](std::uint64_t block) {
+        if (block == n_blocks) {
+          throw std::invalid_argument(
+              "decrypt_sharded: ciphertext too short for message length");
+        }
+        const std::uint64_t v =
+            util::load_le(cipher.data() + block * static_cast<std::uint64_t>(bb), bb);
+        const ScrambledRange r = scramble_range(v, pairs[pair_idx].pair, params);
+        if (++pair_idx == pairs.size()) pair_idx = 0;
+        return r.width();
+      });
+  const std::uint64_t used =
+      ranges.empty() ? 0 : ranges.back().block_begin + ranges.back().max_blocks;
+  if (used < n_blocks) {
+    throw std::invalid_argument(
+        "decrypt_sharded: trailing ciphertext blocks after message end");
+  }
+  return ranges;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encrypt_sharded(std::span<const std::uint8_t> msg, const Key& key,
+                                          const CoverSource& cover, int n_shards,
+                                          util::ThreadPool* pool, BlockParams params) {
+  params.validate();
+  key.require_fits(params, "encrypt_sharded");
+  if (n_shards < 1) {
+    throw std::invalid_argument("encrypt_sharded: n_shards must be >= 1");
+  }
+  if (msg.empty()) return {};
+  if (n_shards == 1) {
+    // The single-shard path IS the sequential core — zero overhead.
+    auto c = cover.clone();
+    c->reset();
+    Encryptor enc(key, std::move(c), params);
+    enc.feed(msg);
+    return enc.cipher_bytes();
+  }
+
+  const std::vector<detail::PairCtx> pairs = detail::make_pair_ctx(key, params);
+  const auto total_bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  const std::vector<ShardRange> ranges =
+      params.policy == FramePolicy::framed
+          ? plan_framed(cover, pairs, params, total_bits, static_cast<std::size_t>(n_shards))
+          : plan_continuous(cover, pairs, params, total_bits,
+                            static_cast<std::size_t>(n_shards), pool);
+
+  const auto bb = static_cast<std::uint64_t>(params.block_bytes());
+  std::vector<std::uint8_t> out(
+      static_cast<std::size_t>((ranges.back().block_begin + ranges.back().max_blocks) * bb));
+  std::vector<std::uint64_t> emitted(ranges.size(), 0);
+  util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+    emitted[s] = encrypt_range(ranges[s], msg, pairs, cover, params, out.data());
+  });
+  for (std::size_t s = 0; s + 1 < ranges.size(); ++s) {
+    assert(emitted[s] == ranges[s].max_blocks);
+    (void)s;
+  }
+  out.resize(static_cast<std::size_t>((ranges.back().block_begin + emitted.back()) * bb));
+  return out;
+}
+
+std::vector<std::uint8_t> decrypt_sharded(std::span<const std::uint8_t> cipher,
+                                          const Key& key, std::size_t msg_bytes,
+                                          int n_shards, util::ThreadPool* pool,
+                                          BlockParams params) {
+  params.validate();
+  key.require_fits(params, "decrypt_sharded");
+  if (n_shards < 1) {
+    throw std::invalid_argument("decrypt_sharded: n_shards must be >= 1");
+  }
+  if (n_shards == 1) return decrypt(cipher, key, msg_bytes, params);
+
+  const auto bb = static_cast<std::size_t>(params.block_bytes());
+  if (cipher.size() % bb != 0) {
+    throw std::invalid_argument("decrypt_sharded: ciphertext not block-aligned");
+  }
+  const std::uint64_t n_blocks = cipher.size() / bb;
+  const auto total_bits = static_cast<std::uint64_t>(msg_bytes) * 8;
+  if (total_bits == 0) {
+    if (n_blocks != 0) {
+      throw std::invalid_argument(
+          "decrypt_sharded: trailing ciphertext blocks after message end");
+    }
+    return {};
+  }
+
+  const std::vector<detail::PairCtx> pairs = detail::make_pair_ctx(key, params);
+  std::vector<ShardRange> ranges;
+  if (params.policy == FramePolicy::framed) {
+    ranges = plan_framed_decrypt(cipher, pairs, params, total_bits,
+                                 static_cast<std::size_t>(n_shards));
+  } else {
+    // No plan needed: widths are recomputed from the blocks themselves, so
+    // shards are an even block split and extraction starts immediately.
+    const std::uint64_t n_eff =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(n_shards), n_blocks);
+    for (std::uint64_t s = 0; s < n_eff; ++s) {
+      ShardRange r;
+      r.block_begin = n_blocks * s / n_eff;
+      r.max_blocks = n_blocks * (s + 1) / n_eff - r.block_begin;
+      ranges.push_back(r);
+    }
+  }
+
+  std::vector<ExtractResult> results(ranges.size());
+  util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+    results[s] = extract_range(cipher, ranges[s], pairs, params);
+  });
+
+  std::uint64_t total_sum = 0;
+  for (const ExtractResult& r : results) total_sum += r.bits;
+  if (total_sum < total_bits) {
+    throw std::invalid_argument("decrypt_sharded: ciphertext too short for message length");
+  }
+  if (params.policy != FramePolicy::framed && !results.empty() &&
+      total_sum - static_cast<std::uint64_t>(results.back().last_width) >= total_bits) {
+    // Bits before the final block already complete the message, so that
+    // block (at least) is trailing — mirror the sequential strictness.
+    throw std::invalid_argument(
+        "decrypt_sharded: trailing ciphertext blocks after message end");
+  }
+
+  util::BitWriter out;
+  out.reserve_bits(static_cast<std::size_t>(total_bits));
+  std::uint64_t written = 0;
+  for (const ExtractResult& r : results) {
+    const std::uint64_t take = std::min(r.bits, total_bits - written);
+    out.append_bits(r.bytes, static_cast<std::size_t>(take));
+    written += take;
+    if (written == total_bits) break;
+  }
+  std::vector<std::uint8_t> msg = out.take();
+  msg.resize(msg_bytes);
+  return msg;
+}
+
+}  // namespace mhhea::core

@@ -1,0 +1,141 @@
+// Intra-message parallelism for the MHHEA core — the software analogue of
+// the paper's spatial parallelism (many hiding-vector operations in flight
+// per clock): a message is planned as independent block-range shards that
+// encrypt/decrypt concurrently and splice into bit-identical output.
+//
+// Why shards can be independent at all: every ciphertext block occupies a
+// fixed block_bytes slot, block capacities depend only on the cover vector
+// and the cyclic key pair (never on message data), and the cover stream is
+// random-access (CoverSource::skip_blocks over the O(log n) Lfsr::jump). So
+// once the message bit offset of a shard's first block is known, the shard
+// clones the cover prototype, jumps to its block range, seeks the message
+// reader and works entirely within its own slice of the output.
+//
+// Finding those offsets is the plan phase:
+//   * continuous policy — capacities are scanned in parallel chunks (each
+//     chunk worker jumps to its block range and sums scramble widths); a
+//     prefix walk over chunk capacities yields shard boundaries. Decryption
+//     needs no plan at all: capacities are recomputed from the ciphertext
+//     blocks themselves, so workers extract straight away and the caller
+//     splices their bit buffers in order.
+//   * framed policy — the frame budget feeds back into per-block widths, so
+//     the scan is sequential (one cheap width pass), but boundaries land on
+//     frame starts and the embed/extract phase still runs fully parallel.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/cover.hpp"
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace mhhea::core {
+
+namespace detail {
+
+/// Cover vectors / ciphertext blocks a shard worker pulls per refill
+/// (mirrors the sequential cores' bounded look-ahead).
+inline constexpr std::size_t kShardFetchChunk = 256;
+
+/// A derived per-worker cover positioned at `block_begin` — the
+/// clone + reset + jump sequence every sharded path starts from.
+inline std::unique_ptr<CoverSource> cover_at(const CoverSource& proto,
+                                             const BlockParams& params,
+                                             std::uint64_t block_begin) {
+  auto cover = proto.clone();
+  cover->reset();
+  cover->skip_blocks(params.vector_bits, block_begin);
+  return cover;
+}
+
+/// One shard of a message: a contiguous block range plus the message bits it
+/// carries. `max_blocks` is exact for every shard except the trailing
+/// continuous-policy one, where it is an upper bound (the final block lands
+/// somewhere inside the last capacity chunk).
+struct ShardRange {
+  std::uint64_t block_begin = 0;
+  std::uint64_t bit_begin = 0;
+  std::uint64_t n_bits = 0;
+  std::uint64_t max_blocks = 0;
+};
+
+/// The framed-policy plan walk, shared by the MHHEA encrypt/decrypt plans
+/// and the HHEA plan — they differ only in where block widths come from.
+/// Frames consume exactly vector_bits message bits each (short final frame
+/// aside), so shard *bit* boundaries are a fixed even frame split; one
+/// sequential walk — the frame budget feeds back into per-block widths, so
+/// this pass cannot be parallelised — pins the block index at each boundary.
+///
+/// `width_at(block_index)` returns the uncapped width of block
+/// `block_index`; blocks are visited in strict sequential order, so the
+/// callback may keep its own cursor state, and it throws if it runs out of
+/// input (too-short ciphertext, exhausted cover). Every returned max_blocks
+/// is exact; the walk's total block count is the last range's
+/// block_begin + max_blocks.
+template <typename WidthFn>
+std::vector<ShardRange> plan_framed_walk(const BlockParams& params,
+                                         std::uint64_t total_bits, std::size_t n_shards,
+                                         WidthFn&& width_at) {
+  const auto vb = static_cast<std::uint64_t>(params.vector_bits);
+  const std::uint64_t n_frames = (total_bits + vb - 1) / vb;
+  std::vector<std::uint64_t> boundary_bits;  // strictly increasing frame starts
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const std::uint64_t b = n_frames * s / n_shards * vb;
+    if (boundary_bits.empty() || b > boundary_bits.back()) boundary_bits.push_back(b);
+  }
+  std::vector<ShardRange> ranges(boundary_bits.size());
+  std::size_t next_boundary = 0;
+  std::uint64_t bit = 0;
+  std::uint64_t block = 0;
+  int frame_remaining = 0;
+  while (bit < total_bits) {
+    if (frame_remaining == 0) {
+      // Frame starts are the only points where the running bit count can sit
+      // on a boundary, so shard begins snap here.
+      if (next_boundary < boundary_bits.size() && bit == boundary_bits[next_boundary]) {
+        ranges[next_boundary].block_begin = block;
+        ranges[next_boundary].bit_begin = bit;
+        ++next_boundary;
+      }
+      frame_remaining = static_cast<int>(std::min<std::uint64_t>(total_bits - bit, vb));
+    }
+    const int w = std::min(width_at(block), frame_remaining);
+    bit += static_cast<std::uint64_t>(w);
+    frame_remaining -= w;
+    ++block;
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const bool last = i + 1 == ranges.size();
+    ranges[i].n_bits = (last ? total_bits : ranges[i + 1].bit_begin) - ranges[i].bit_begin;
+    ranges[i].max_blocks = (last ? block : ranges[i + 1].block_begin) - ranges[i].block_begin;
+  }
+  return ranges;
+}
+
+}  // namespace detail
+
+/// Sharded one-shot encryption, bit-identical to core::encrypt (and to
+/// Encryptor fed in one shot) for every shard count. `cover` is a prototype:
+/// each worker derives its own via clone() + reset() + skip_blocks, so the
+/// source must be clonable and resettable (LfsrCover and BufferCover are).
+/// `pool` may be null — shards then run inline on the calling thread, same
+/// bytes, no parallelism. `n_shards` >= 1; the planner may use fewer shards
+/// than requested on short messages.
+[[nodiscard]] std::vector<std::uint8_t> encrypt_sharded(
+    std::span<const std::uint8_t> msg, const Key& key, const CoverSource& cover,
+    int n_shards, util::ThreadPool* pool, BlockParams params = BlockParams::paper());
+
+/// Sharded decryption, bit-identical to core::decrypt including its strict
+/// contract: throws std::invalid_argument on misaligned buffers, truncated
+/// ciphertext, and trailing blocks past the message end.
+[[nodiscard]] std::vector<std::uint8_t> decrypt_sharded(
+    std::span<const std::uint8_t> cipher, const Key& key, std::size_t msg_bytes,
+    int n_shards, util::ThreadPool* pool, BlockParams params = BlockParams::paper());
+
+}  // namespace mhhea::core

@@ -4,7 +4,6 @@
 #include <exception>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
 
 #include "src/util/thread_pool.hpp"
 
@@ -13,11 +12,10 @@ namespace mhhea::crypto {
 namespace {
 
 int resolve_threads(int n_threads, std::size_t n_items) {
-  if (n_threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    n_threads = hw > 0 ? static_cast<int>(hw) : 1;
-  }
-  if (n_threads < 1) throw std::invalid_argument("batch: n_threads must be >= 0");
+  // 0 resolves to hardware concurrency; what the API enforces is >= 1
+  // *after* that resolution, and the error says so (it used to claim
+  // ">= 0", which is not the condition a negative count violates).
+  n_threads = util::resolve_parallelism(n_threads, "batch");
   if (static_cast<std::size_t>(n_threads) > n_items && n_items > 0) {
     n_threads = static_cast<int>(n_items);
   }

@@ -2,6 +2,8 @@
 // benchmark harness and examples can sweep over them uniformly.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -9,6 +11,24 @@
 #include <vector>
 
 namespace mhhea::crypto {
+
+/// Messages below this size run on the sequential path even when an
+/// adapter's `shards` knob is > 1: the shard plan + pool dispatch (~tens of
+/// microseconds) would outweigh the split work, and small-message
+/// parallelism comes from the batch API. One shared constant so every
+/// adapter (MHHEA, HHEA, YAEA-S) shards at the same threshold — Yaea also
+/// uses it as the minimum bytes *per shard*.
+inline constexpr std::size_t kMinShardMsgBytes = 1024;
+
+/// Shards actually engaged for a message of `msg_bytes` under a `shards`
+/// knob: every shard gets at least kMinShardMsgBytes of message, so the
+/// count scales down with the message instead of splitting small messages
+/// into dispatch-dominated slivers. Returns 1 (sequential) below the cutoff.
+[[nodiscard]] inline int effective_shards(int shards, std::size_t msg_bytes) {
+  return static_cast<int>(std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(msg_bytes) / kMinShardMsgBytes, 1,
+      static_cast<std::uint64_t>(shards)));
+}
 
 /// A one-shot symmetric cipher. Implementations are deterministic given
 /// their construction parameters (key + nonce), which is what the benches

@@ -23,6 +23,7 @@
 #include "src/core/key.hpp"
 #include "src/core/params.hpp"
 #include "src/util/bitstream.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace mhhea::crypto {
 
@@ -82,6 +83,30 @@ class HheaDecryptor {
     core::BlockParams params = core::BlockParams::paper());
 [[nodiscard]] std::vector<std::uint8_t> hhea_decrypt(
     std::span<const std::uint8_t> cipher, const core::Key& key, std::size_t msg_bytes,
+    core::BlockParams params = core::BlockParams::paper());
+
+// ----------------------------------------------------------------------
+// Intra-message sharding (see src/core/shard.hpp for the design). HHEA's
+// block widths are fixed by the key alone — block i always embeds
+// span(key[i mod L]) + 1 bits — so the continuous-policy plan is pure
+// arithmetic over the key's width cycle (no capacity scan at all), and the
+// framed plan is one cover-free frame walk. Workers then run fully parallel:
+// each clones `cover`, jumps to its block range (Lfsr::jump underneath) and
+// embeds/extracts its own slice.
+
+/// Sharded one-shot encryption, bit-identical to HheaEncryptor fed in one
+/// shot. `cover` is a clonable, resettable prototype; `pool` may be null
+/// (shards run inline). n_shards >= 1.
+[[nodiscard]] std::vector<std::uint8_t> hhea_encrypt_sharded(
+    std::span<const std::uint8_t> msg, const core::Key& key,
+    const core::CoverSource& cover, int n_shards, util::ThreadPool* pool,
+    core::BlockParams params = core::BlockParams::paper());
+
+/// Sharded decryption, bit-identical to hhea_decrypt including strictness:
+/// std::invalid_argument on misaligned, truncated or trailing ciphertext.
+[[nodiscard]] std::vector<std::uint8_t> hhea_decrypt_sharded(
+    std::span<const std::uint8_t> cipher, const core::Key& key, std::size_t msg_bytes,
+    int n_shards, util::ThreadPool* pool,
     core::BlockParams params = core::BlockParams::paper());
 
 }  // namespace mhhea::crypto

@@ -7,19 +7,34 @@
 
 namespace mhhea::crypto {
 
-HheaCipher::HheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params)
+HheaCipher::HheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params,
+                       int shards)
     : key_(std::move(key)),
       seed_(seed),
       params_(params),
+      shards_(util::resolve_parallelism(shards, "HheaCipher")),
       enc_(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_),
       dec_(key_, 0, params_) {
   double mean_bits = 0.0;
   for (const auto& p : key_.pairs()) mean_bits += static_cast<double>(p.span() + 1);
   mean_bits /= static_cast<double>(key_.size());
   expansion_ = static_cast<double>(params_.vector_bits) / mean_bits;
+  if (shards_ > 1) {
+    cover_proto_ = core::make_lfsr_cover(params_.vector_bits, seed_);
+    // Warm the LFSR's lazily built leap tables and jump matrix once, so
+    // every shard worker's clone shares them instead of rebuilding per call.
+    (void)cover_proto_->next_block(params_.vector_bits);
+    cover_proto_->skip_blocks(params_.vector_bits, 1);
+    cover_proto_->reset();
+    pool_ = std::make_unique<util::ThreadPool>(shards_);
+  }
 }
 
 std::vector<std::uint8_t> HheaCipher::encrypt(std::span<const std::uint8_t> msg) {
+  const int eff = effective_shards(shards_, msg.size());
+  if (eff > 1) {
+    return hhea_encrypt_sharded(msg, key_, *cover_proto_, eff, pool_.get(), params_);
+  }
   enc_.reset();
   enc_.feed(msg);
   return enc_.cipher_bytes();
@@ -27,6 +42,10 @@ std::vector<std::uint8_t> HheaCipher::encrypt(std::span<const std::uint8_t> msg)
 
 std::vector<std::uint8_t> HheaCipher::decrypt(std::span<const std::uint8_t> cipher,
                                               std::size_t msg_bytes) {
+  const int eff = effective_shards(shards_, msg_bytes);
+  if (eff > 1) {
+    return hhea_decrypt_sharded(cipher, key_, msg_bytes, eff, pool_.get(), params_);
+  }
   dec_.reset(static_cast<std::uint64_t>(msg_bytes) * 8);
   dec_.feed_bytes(cipher);
   if (!dec_.done()) {

@@ -6,19 +6,27 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "src/core/cover.hpp"
 #include "src/core/key.hpp"
 #include "src/core/params.hpp"
 #include "src/crypto/cipher.hpp"
 #include "src/crypto/hhea.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace mhhea::crypto {
 
 class HheaCipher final : public Cipher {
  public:
   /// Validates seed, params and key-vs-params eagerly (std::invalid_argument).
+  ///
+  /// `shards` > 1 turns on intra-message parallelism (hhea_encrypt_sharded /
+  /// hhea_decrypt_sharded): block-range shards run concurrently on an
+  /// internal pool, bit-identical to the single-shard path. 0 picks
+  /// hardware concurrency; negative counts throw std::invalid_argument.
   HheaCipher(core::Key key, std::uint64_t seed,
-             core::BlockParams params = core::BlockParams::paper());
+             core::BlockParams params = core::BlockParams::paper(), int shards = 1);
 
   [[nodiscard]] std::string name() const override { return "HHEA"; }
   [[nodiscard]] std::vector<std::uint8_t> encrypt(
@@ -31,14 +39,19 @@ class HheaCipher final : public Cipher {
 
   [[nodiscard]] const core::Key& key() const noexcept { return key_; }
   [[nodiscard]] const core::BlockParams& params() const noexcept { return params_; }
+  [[nodiscard]] int shards() const noexcept { return shards_; }
 
  private:
   core::Key key_;
   std::uint64_t seed_;
   core::BlockParams params_;
+  int shards_;
   HheaEncryptor enc_;  // reusable core, reset per encrypt()
   HheaDecryptor dec_;  // reusable core, reset per decrypt()
   double expansion_;
+  // Sharded-mode state (null when shards_ == 1).
+  std::unique_ptr<core::CoverSource> cover_proto_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace mhhea::crypto

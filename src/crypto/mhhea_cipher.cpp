@@ -6,30 +6,52 @@
 #include "src/core/analysis.hpp"
 #include "src/core/cover.hpp"
 #include "src/core/frame.hpp"
+#include "src/core/shard.hpp"
 
 namespace mhhea::crypto {
 
 MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params,
-                         Framing framing)
+                         Framing framing, int shards)
     : key_(std::move(key)),
       seed_(seed),
       params_(params),
       framing_(framing),
+      shards_(util::resolve_parallelism(shards, "MhheaCipher")),
       // Core construction validates params, seed and key-vs-params eagerly.
       enc_(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_),
       dec_(key_, 0, params_),
-      expansion_(core::expected_expansion(key_, params_)) {}
+      expansion_(core::expected_expansion(key_, params_)) {
+  if (shards_ > 1) {
+    cover_proto_ = core::make_lfsr_cover(params_.vector_bits, seed_);
+    // Warm the LFSR's lazily built leap tables and jump matrix once, so
+    // every shard worker's clone shares them instead of rebuilding per call.
+    (void)cover_proto_->next_block(params_.vector_bits);
+    cover_proto_->skip_blocks(params_.vector_bits, 1);
+    cover_proto_->reset();
+    pool_ = std::make_unique<util::ThreadPool>(shards_);
+  }
+}
 
 std::vector<std::uint8_t> MhheaCipher::encrypt(std::span<const std::uint8_t> msg) {
-  enc_.reset();
-  enc_.feed(msg);
+  std::vector<std::uint8_t> raw;
+  std::uint64_t message_bits = 0;
+  const int eff = effective_shards(shards_, msg.size());
+  if (eff > 1) {
+    raw = core::encrypt_sharded(msg, key_, *cover_proto_, eff, pool_.get(), params_);
+    message_bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  } else {
+    enc_.reset();
+    enc_.feed(msg);
+    raw = enc_.cipher_bytes();
+    message_bits = enc_.message_bits();
+  }
   if (framing_ == Framing::sealed) {
     core::FrameHeader h;
     h.params = params_;
-    h.message_bits = enc_.message_bits();
-    return core::frame_encode(h, enc_.cipher_bytes());
+    h.message_bits = message_bits;
+    return core::frame_encode(h, raw);
   }
-  return enc_.cipher_bytes();
+  return raw;
 }
 
 std::vector<std::uint8_t> MhheaCipher::decrypt(std::span<const std::uint8_t> cipher,
@@ -44,6 +66,10 @@ std::vector<std::uint8_t> MhheaCipher::decrypt(std::span<const std::uint8_t> cip
     if (h.message_bits != message_bits) {
       throw std::invalid_argument("MhheaCipher: sealed header length mismatch");
     }
+  }
+  const int eff = effective_shards(shards_, msg_bytes);
+  if (eff > 1) {
+    return core::decrypt_sharded(payload, key_, msg_bytes, eff, pool_.get(), params_);
   }
   dec_.reset(message_bits);
   dec_.feed_bytes(payload);

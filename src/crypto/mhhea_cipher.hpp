@@ -19,11 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "src/core/cover.hpp"
 #include "src/core/key.hpp"
 #include "src/core/mhhea.hpp"
 #include "src/core/params.hpp"
 #include "src/crypto/cipher.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace mhhea::crypto {
 
@@ -39,9 +42,16 @@ class MhheaCipher final : public Cipher {
   /// and `key` must fit `params` — both are validated eagerly
   /// (std::invalid_argument), so a registry sweep fails at construction, not
   /// mid-benchmark.
+  ///
+  /// `shards` > 1 turns on intra-message parallelism (core/shard.hpp): each
+  /// message is planned as that many block-range shards encrypted/decrypted
+  /// concurrently on an internal thread pool, bit-identical to the
+  /// single-shard path. 0 picks hardware concurrency; negative counts throw
+  /// std::invalid_argument. shards == 1 (the default) runs the sequential
+  /// resettable cores with zero added overhead.
   MhheaCipher(core::Key key, std::uint64_t seed,
               core::BlockParams params = core::BlockParams::paper(),
-              Framing framing = Framing::raw);
+              Framing framing = Framing::raw, int shards = 1);
 
   [[nodiscard]] std::string name() const override {
     return framing_ == Framing::sealed ? "MHHEA-sealed" : "MHHEA";
@@ -59,15 +69,21 @@ class MhheaCipher final : public Cipher {
   [[nodiscard]] const core::Key& key() const noexcept { return key_; }
   [[nodiscard]] const core::BlockParams& params() const noexcept { return params_; }
   [[nodiscard]] Framing framing() const noexcept { return framing_; }
+  [[nodiscard]] int shards() const noexcept { return shards_; }
 
  private:
   core::Key key_;
   std::uint64_t seed_;
   core::BlockParams params_;
   Framing framing_;
+  int shards_;
   core::Encryptor enc_;  // reusable core, reset per encrypt()
   core::Decryptor dec_;  // reusable core, reset per decrypt()
   double expansion_;
+  // Sharded-mode state (null when shards_ == 1): the cover prototype each
+  // shard worker clones and jumps, and the worker pool.
+  std::unique_ptr<core::CoverSource> cover_proto_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace mhhea::crypto

@@ -42,14 +42,14 @@ void CipherRegistry::register_cipher(std::string name, CipherFactory factory) {
   }
 }
 
-std::unique_ptr<Cipher> CipherRegistry::make(std::string_view name,
-                                             std::uint64_t seed) const {
+std::unique_ptr<Cipher> CipherRegistry::make(std::string_view name, std::uint64_t seed,
+                                             int shards) const {
   const auto it = factories_.find(name);
   if (it == factories_.end()) {
     throw std::invalid_argument("CipherRegistry: unknown cipher '" + std::string(name) +
                                 "'");
   }
-  return it->second(seed);
+  return it->second(seed, shards);
 }
 
 bool CipherRegistry::contains(std::string_view name) const {
@@ -66,39 +66,40 @@ std::vector<std::string> CipherRegistry::names() const {
 const CipherRegistry& CipherRegistry::builtin() {
   static const CipherRegistry registry = [] {
     CipherRegistry r;
-    r.register_cipher("MHHEA", [](std::uint64_t seed) -> std::unique_ptr<Cipher> {
+    r.register_cipher("MHHEA", [](std::uint64_t seed, int shards) -> std::unique_ptr<Cipher> {
       util::Xoshiro256 rng(seed);
       const auto params = core::BlockParams::paper();
       core::Key key = core::Key::random(rng, kRegistryKeyPairs, params);
       return std::make_unique<MhheaCipher>(std::move(key),
                                            nonzero_seed(rng, cover_seed_bits(params)),
-                                           params);
+                                           params, MhheaCipher::Framing::raw, shards);
     });
     // The framed/hardware configuration measured end to end through the
     // core::seal/open container (16-byte self-describing header + blocks).
-    r.register_cipher("MHHEA-sealed", [](std::uint64_t seed) -> std::unique_ptr<Cipher> {
+    r.register_cipher("MHHEA-sealed",
+                      [](std::uint64_t seed, int shards) -> std::unique_ptr<Cipher> {
       util::Xoshiro256 rng(seed);
       const auto params = core::BlockParams::hardware();
       core::Key key = core::Key::random(rng, kRegistryKeyPairs, params);
       return std::make_unique<MhheaCipher>(std::move(key),
                                            nonzero_seed(rng, cover_seed_bits(params)),
-                                           params, MhheaCipher::Framing::sealed);
+                                           params, MhheaCipher::Framing::sealed, shards);
     });
-    r.register_cipher("HHEA", [](std::uint64_t seed) -> std::unique_ptr<Cipher> {
+    r.register_cipher("HHEA", [](std::uint64_t seed, int shards) -> std::unique_ptr<Cipher> {
       util::Xoshiro256 rng(seed);
       const auto params = core::BlockParams::paper();
       core::Key key = core::Key::random(rng, kRegistryKeyPairs, params);
       return std::make_unique<HheaCipher>(std::move(key),
                                           nonzero_seed(rng, cover_seed_bits(params)),
-                                          params);
+                                          params, shards);
     });
-    r.register_cipher("YAEA-S", [](std::uint64_t seed) -> std::unique_ptr<Cipher> {
+    r.register_cipher("YAEA-S", [](std::uint64_t seed, int shards) -> std::unique_ptr<Cipher> {
       util::Xoshiro256 rng(seed);
       Yaea::KeyType key;
       key.seed_a = static_cast<std::uint32_t>(nonzero_seed(rng, GeffeKeystream::kDegreeA));
       key.seed_b = static_cast<std::uint32_t>(nonzero_seed(rng, GeffeKeystream::kDegreeB));
       key.seed_c = static_cast<std::uint32_t>(nonzero_seed(rng, GeffeKeystream::kDegreeC));
-      return std::make_unique<Yaea>(key);
+      return std::make_unique<Yaea>(key, shards);
     });
     return r;
   }();

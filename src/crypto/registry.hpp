@@ -24,7 +24,11 @@ namespace mhhea::crypto {
 /// must always yield the same cipher configuration (keys, nonces), so two
 /// instances made with equal seeds are interchangeable — the property the
 /// batch-vs-sequential equivalence tests and the bench harness depend on.
-using CipherFactory = std::function<std::unique_ptr<Cipher>(std::uint64_t seed)>;
+/// `shards` is the intra-message parallelism knob, passed through to the
+/// cipher; it must never change the produced bytes, only how they are
+/// computed (the shard-vs-sequential equivalence tests enforce this).
+using CipherFactory =
+    std::function<std::unique_ptr<Cipher>(std::uint64_t seed, int shards)>;
 
 class CipherRegistry {
  public:
@@ -33,9 +37,9 @@ class CipherRegistry {
   void register_cipher(std::string name, CipherFactory factory);
 
   /// Instantiate a registered cipher. Throws std::invalid_argument for an
-  /// unknown name.
-  [[nodiscard]] std::unique_ptr<Cipher> make(std::string_view name,
-                                             std::uint64_t seed) const;
+  /// unknown name (and, via the adapters, for a negative shard count).
+  [[nodiscard]] std::unique_ptr<Cipher> make(std::string_view name, std::uint64_t seed,
+                                             int shards = 1) const;
 
   [[nodiscard]] bool contains(std::string_view name) const;
   /// Registered names, sorted.

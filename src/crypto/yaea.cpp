@@ -1,6 +1,10 @@
 #include "src/crypto/yaea.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace mhhea::crypto {
+
 
 GeffeKeystream::GeffeKeystream(std::uint32_t seed_a, std::uint32_t seed_b,
                                std::uint32_t seed_c)
@@ -21,18 +25,45 @@ std::uint8_t GeffeKeystream::next_byte() noexcept {
   return v;
 }
 
+void GeffeKeystream::jump(std::uint64_t n_bits) {
+  a_.jump(n_bits);
+  b_.jump(n_bits);
+  c_.jump(n_bits);
+}
+
+Yaea::Yaea(KeyType key, int shards)
+    : key_(key), shards_(util::resolve_parallelism(shards, "Yaea")) {
+  // Validate the seeds eagerly (the registry contract: bad configurations
+  // fail at construction, not mid-sweep).
+  (void)GeffeKeystream(key_.seed_a, key_.seed_b, key_.seed_c);
+  if (shards_ > 1) pool_ = std::make_unique<util::ThreadPool>(shards_);
+}
+
 std::vector<std::uint8_t> Yaea::encrypt(std::span<const std::uint8_t> msg) {
-  GeffeKeystream ks(key_.seed_a, key_.seed_b, key_.seed_c);
   std::vector<std::uint8_t> out(msg.size());
-  for (std::size_t i = 0; i < msg.size(); ++i) out[i] = msg[i] ^ ks.next_byte();
+  // Contiguous byte ranges, each with an independently jumped keystream —
+  // one keystream byte consumes 8 steps of each register, so the shard at
+  // byte offset o starts from jump(8 * o).
+  const auto n = static_cast<std::size_t>(effective_shards(shards_, msg.size()));
+  util::run_indexed(pool_.get(), n, [&](std::size_t s) {
+    const std::size_t begin = msg.size() * s / n;
+    const std::size_t end = msg.size() * (s + 1) / n;
+    GeffeKeystream ks(key_.seed_a, key_.seed_b, key_.seed_c);
+    ks.jump(static_cast<std::uint64_t>(begin) * 8);
+    for (std::size_t i = begin; i < end; ++i) out[i] = msg[i] ^ ks.next_byte();
+  });
   return out;
 }
 
 std::vector<std::uint8_t> Yaea::decrypt(std::span<const std::uint8_t> cipher,
                                         std::size_t msg_bytes) {
-  auto out = encrypt(cipher);  // XOR stream cipher: decrypt == encrypt
-  out.resize(msg_bytes);
-  return out;
+  if (cipher.size() < msg_bytes) {
+    throw std::invalid_argument("Yaea::decrypt: ciphertext shorter than message length");
+  }
+  if (cipher.size() > msg_bytes) {
+    throw std::invalid_argument("Yaea::decrypt: trailing ciphertext bytes after message end");
+  }
+  return encrypt(cipher);  // XOR stream cipher: decrypt == encrypt
 }
 
 }  // namespace mhhea::crypto

@@ -20,11 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "src/crypto/cipher.hpp"
 #include "src/lfsr/lfsr.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace mhhea::crypto {
 
@@ -44,11 +46,23 @@ class GeffeKeystream {
   /// One keystream byte (8 bits, LSB first).
   [[nodiscard]] std::uint8_t next_byte() noexcept;
 
+  /// Advance the keystream by `n_bits` positions in O(log n) — every output
+  /// bit consumes exactly one step of each component register, so the jump
+  /// is three Lfsr::jump calls. This is what lets a shard worker seed its
+  /// keystream at an arbitrary byte offset without replaying the stream.
+  void jump(std::uint64_t n_bits);
+
  private:
   lfsr::Lfsr a_, b_, c_;
 };
 
 /// 96-bit-keyed stream cipher: ciphertext = plaintext XOR keystream.
+///
+/// `shards` > 1 splits each message into that many contiguous byte ranges
+/// XORed in parallel on an internal thread pool, each range's keystream
+/// seeded independently by GeffeKeystream::jump — bit-identical to the
+/// sequential stream for every shard count. 0 picks hardware concurrency;
+/// negative counts throw std::invalid_argument.
 class Yaea final : public Cipher {
  public:
   struct KeyType {
@@ -57,16 +71,23 @@ class Yaea final : public Cipher {
     std::uint32_t seed_c = 0;
   };
 
-  explicit Yaea(KeyType key) : key_(key) {}
+  explicit Yaea(KeyType key, int shards = 1);
 
   [[nodiscard]] std::string name() const override { return "YAEA-S"; }
   [[nodiscard]] std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> msg) override;
+  /// Strict contract: a stream cipher's ciphertext is exactly as long as the
+  /// plaintext, so both truncated and over-long ciphertext throw
+  /// std::invalid_argument instead of fabricating zero bytes or silently
+  /// dropping the tail.
   [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
                                                   std::size_t msg_bytes) override;
   [[nodiscard]] double expansion() const override { return 1.0; }
+  [[nodiscard]] int shards() const noexcept { return shards_; }
 
  private:
   KeyType key_;
+  int shards_;
+  std::unique_ptr<util::ThreadPool> pool_;  // created only when shards_ > 1
 };
 
 }  // namespace mhhea::crypto

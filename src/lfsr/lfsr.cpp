@@ -43,6 +43,51 @@ void Lfsr::advance(std::uint64_t n) noexcept {
   for (std::uint64_t i = 0; i < n; ++i) (void)step();
 }
 
+const Lfsr::StepMatrix& Lfsr::step_matrix() {
+  if (step_m_ == nullptr) {
+    // Column b: where basis state 1<<b lands after a single step() — probing
+    // the register keeps both forms bit-exact. Cached and shared by copies
+    // (like the leap tables) since sharded covers jump once per worker.
+    auto m = std::make_shared<StepMatrix>();
+    for (int b = 0; b < poly_.degree; ++b) {
+      Lfsr probe(poly_, std::uint64_t{1} << b, form_);
+      (void)probe.step();
+      (*m)[static_cast<std::size_t>(b)] = static_cast<std::uint32_t>(probe.state_);
+    }
+    step_m_ = std::move(m);
+  }
+  return *step_m_;
+}
+
+void Lfsr::jump(std::uint64_t n) {
+  const int d = poly_.degree;
+  StepMatrix m = step_matrix();
+  const auto mat_vec = [d](const StepMatrix& a, std::uint32_t v) {
+    std::uint32_t r = 0;
+    while (v != 0) {
+      const int b = std::countr_zero(v);
+      if (b >= d) break;  // state is confined to the low d bits
+      r ^= a[static_cast<std::size_t>(b)];
+      v &= v - 1;
+    }
+    return r;
+  };
+  // Square-and-multiply: fold M^(2^k) into the state for each set bit of n.
+  std::uint32_t s = static_cast<std::uint32_t>(state_);
+  while (n != 0) {
+    if ((n & 1) != 0) s = mat_vec(m, s);
+    n >>= 1;
+    if (n != 0) {
+      StepMatrix sq{};
+      for (int j = 0; j < d; ++j) {
+        sq[static_cast<std::size_t>(j)] = mat_vec(m, m[static_cast<std::size_t>(j)]);
+      }
+      m = sq;
+    }
+  }
+  state_ = s;
+}
+
 const Lfsr::LeapTables& Lfsr::leap_tables() {
   if (leap_ == nullptr) {
     auto tables = std::make_shared<LeapTables>();

@@ -43,6 +43,18 @@ class Lfsr {
   /// Advance `n` steps, discarding output.
   void advance(std::uint64_t n) noexcept;
 
+  /// Advance `n` steps in O(log n) time — bit-identical to advance(n).
+  ///
+  /// The single-step transition is GF(2)-linear for both register forms, so
+  /// jumping is multiplication by the n-th power of the transition matrix,
+  /// computed by square-and-multiply. Like the leap tables, the matrix is
+  /// derived by probing step() on basis states, so the two fast paths can
+  /// never drift from the normative bit-serial register. This is what lets a
+  /// shard worker seed its cover/keystream state at an arbitrary block
+  /// offset without replaying the stream (~2.5k word ops per call for the
+  /// paper's degree-16 register vs. n sequential steps).
+  void jump(std::uint64_t n);
+
   /// Advance `degree` steps and return the new state — one "fresh" block.
   /// This is the hiding-vector source: for the paper's 16-bit LFSR, each
   /// call yields the next V ("Generate 16-bit randomly and set them in V").
@@ -77,15 +89,19 @@ class Lfsr {
   /// Per-byte leap tables: state after `degree` steps is the XOR of
   /// leap[b][byte b of state] over the (up to 4) state bytes.
   using LeapTables = std::array<std::array<std::uint32_t, 256>, 4>;
+  /// Columns of the one-step transition matrix (jump's starting point).
+  using StepMatrix = std::array<std::uint32_t, 32>;
 
   const LeapTables& leap_tables();
+  const StepMatrix& step_matrix();
 
   Polynomial poly_;
   Form form_;
   std::uint64_t fib_mask_;     // taps for the Fibonacci feedback parity
   std::uint64_t galois_mask_;  // XOR constant for the Galois form
   std::uint64_t state_;
-  std::shared_ptr<const LeapTables> leap_;  // built lazily, shared by copies
+  std::shared_ptr<const LeapTables> leap_;    // built lazily, shared by copies
+  std::shared_ptr<const StepMatrix> step_m_;  // built lazily, shared by copies
 };
 
 /// The paper's hiding-vector generator: degree-16 primitive LFSR, Fibonacci

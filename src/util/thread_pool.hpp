@@ -9,14 +9,33 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace mhhea::util {
+
+/// Resolve a user-facing parallelism knob (threads, shards): 0 picks
+/// hardware concurrency, >= 1 is taken as-is. The enforced condition is
+/// >= 1 *after* the 0 resolution, so negative counts throw
+/// std::invalid_argument saying exactly that.
+inline int resolve_parallelism(int n, const char* who) {
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  if (n < 1) {
+    throw std::invalid_argument(std::string(who) +
+                                ": parallelism must resolve to >= 1 (0 picks hardware "
+                                "concurrency; negative counts are invalid)");
+  }
+  return n;
+}
 
 class ThreadPool {
  public:
@@ -90,5 +109,34 @@ class ThreadPool {
   int active_ = 0;
   bool stopping_ = false;
 };
+
+/// Run `task(i)` for every i in [0, n) — on `pool` when one is given, inline
+/// on the calling thread otherwise (same results, no parallelism). Blocks
+/// until every task finished; the first task exception is rethrown on the
+/// calling thread. This is the fork-join primitive of the intra-message
+/// sharding paths: the caller must be the pool's only client while the call
+/// is in flight (wait_idle is a whole-pool barrier).
+template <typename Task>
+void run_indexed(ThreadPool* pool, std::size_t n, const Task& task) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool->submit([&task, &first_error, &error_mu, i] {
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
+  }
+  pool->wait_idle();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
 
 }  // namespace mhhea::util

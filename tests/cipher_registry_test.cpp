@@ -51,8 +51,8 @@ TEST(CipherRegistry, UnknownNameThrows) {
 
 TEST(CipherRegistry, RegistrationValidates) {
   CipherRegistry reg;
-  const auto factory = [](std::uint64_t seed) {
-    return std::unique_ptr<Cipher>(CipherRegistry::builtin().make("MHHEA", seed));
+  const auto factory = [](std::uint64_t seed, int shards) {
+    return std::unique_ptr<Cipher>(CipherRegistry::builtin().make("MHHEA", seed, shards));
   };
   EXPECT_THROW(reg.register_cipher("", factory), std::invalid_argument);
   EXPECT_THROW(reg.register_cipher("x", nullptr), std::invalid_argument);
@@ -147,6 +147,25 @@ TEST(Batch, InvalidArgumentsThrow) {
   EXPECT_THROW((void)encrypt_batch(maker, one_msg, -2), std::invalid_argument);
   const std::vector<std::size_t> two_sizes = {1, 2};
   EXPECT_THROW((void)decrypt_batch(maker, one_msg, two_sizes, 1), std::invalid_argument);
+}
+
+TEST(Batch, NegativeThreadCountSaysWhatItEnforces) {
+  // Regression: the error used to claim "n_threads must be >= 0", but 0 is
+  // valid (it resolves to hardware concurrency) — the enforced condition is
+  // >= 1 after that resolution, and the message must say so.
+  const auto maker = [] { return CipherRegistry::builtin().make("MHHEA", 1); };
+  const std::vector<std::vector<std::uint8_t>> one_msg = {{0x42}};
+  const std::vector<std::size_t> one_size = {1};
+  for (int threads : {-1, -7}) {
+    try {
+      (void)encrypt_batch(maker, one_msg, threads);
+      FAIL() << "negative n_threads=" << threads << " did not throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(">= 1"), std::string::npos) << e.what();
+    }
+    EXPECT_THROW((void)decrypt_batch(maker, one_msg, one_size, threads),
+                 std::invalid_argument);
+  }
 }
 
 TEST(Batch, WorkerExceptionPropagates) {

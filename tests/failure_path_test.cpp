@@ -15,6 +15,7 @@
 #include "src/crypto/hhea.hpp"
 #include "src/crypto/hhea_cipher.hpp"
 #include "src/crypto/mhhea_cipher.hpp"
+#include "src/crypto/yaea.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
@@ -109,6 +110,29 @@ TEST(TrailingCiphertext, ZeroLengthMessageWithPayloadThrows) {
   const core::Key key = core::Key::parse("0-3");
   const std::vector<std::uint8_t> two_blocks = {0x12, 0x34, 0x56, 0x78};
   EXPECT_THROW((void)core::decrypt(two_blocks, key, 0), std::invalid_argument);
+}
+
+TEST(TruncatedCiphertext, YaeaThrowsInsteadOfZeroPadding) {
+  // Regression: a short YAEA-S buffer used to be resized up, silently
+  // fabricating plaintext zeros for the missing tail.
+  crypto::Yaea cipher({0x1ACE, 0x2BEEF, 0x3CAFE});
+  const auto msg = some_message(64);
+  auto ct = cipher.encrypt(msg);
+  ct.resize(40);
+  EXPECT_THROW((void)cipher.decrypt(ct, msg.size()), std::invalid_argument);
+  EXPECT_THROW((void)cipher.decrypt({}, 1), std::invalid_argument);
+}
+
+TEST(TrailingCiphertext, YaeaRejectsExtraBytes) {
+  // Regression: trailing YAEA-S bytes used to be dropped without complaint —
+  // a stream cipher's ciphertext is exactly as long as its plaintext.
+  crypto::Yaea cipher({0x1ACE, 0x2BEEF, 0x3CAFE});
+  const auto msg = some_message(64);
+  auto ct = cipher.encrypt(msg);
+  ct.push_back(0x00);
+  EXPECT_THROW((void)cipher.decrypt(ct, msg.size()), std::invalid_argument);
+  const std::vector<std::uint8_t> payload = {0x42};
+  EXPECT_THROW((void)cipher.decrypt(payload, 0), std::invalid_argument);
 }
 
 TEST(TrailingCiphertext, StreamingFeedBlockAfterDoneStaysIgnorable) {

@@ -14,6 +14,7 @@
 #include "src/core/mhhea.hpp"
 #include "src/core/params.hpp"
 #include "src/crypto/hhea.hpp"
+#include "src/crypto/yaea.hpp"
 #include "src/util/hex.hpp"
 
 namespace mhhea {
@@ -29,6 +30,7 @@ struct KatFile {
   core::BlockParams params;
   core::Key key = core::Key::parse("0-0");
   std::uint64_t seed = 0;
+  crypto::Yaea::KeyType geffe;  // algorithm == "yaea" only
   std::vector<KatCase> cases;
 };
 
@@ -60,6 +62,12 @@ KatFile load_kat(const std::string& name) {
       std::string hex;
       is >> hex;
       kat.seed = util::parse_hex(hex);
+    } else if (field == "geffe") {
+      std::string a, b, c;
+      is >> a >> b >> c;
+      kat.geffe.seed_a = static_cast<std::uint32_t>(util::parse_hex(a));
+      kat.geffe.seed_b = static_cast<std::uint32_t>(util::parse_hex(b));
+      kat.geffe.seed_c = static_cast<std::uint32_t>(util::parse_hex(c));
     } else if (field == "kat") {
       std::string msg_hex, cipher_hex;
       is >> msg_hex >> cipher_hex;
@@ -77,14 +85,28 @@ KatFile load_kat(const std::string& name) {
 
 class KnownAnswer : public ::testing::TestWithParam<const char*> {};
 
+std::vector<std::uint8_t> kat_encrypt(const KatFile& kat,
+                                      const std::vector<std::uint8_t>& msg) {
+  if (kat.algorithm == "hhea") return crypto::hhea_encrypt(msg, kat.key, kat.seed, kat.params);
+  if (kat.algorithm == "yaea") return crypto::Yaea(kat.geffe).encrypt(msg);
+  return core::encrypt(msg, kat.key, kat.seed, kat.params);
+}
+
+std::vector<std::uint8_t> kat_decrypt(const KatFile& kat,
+                                      const std::vector<std::uint8_t>& cipher,
+                                      std::size_t msg_bytes) {
+  if (kat.algorithm == "hhea") {
+    return crypto::hhea_decrypt(cipher, kat.key, msg_bytes, kat.params);
+  }
+  if (kat.algorithm == "yaea") return crypto::Yaea(kat.geffe).decrypt(cipher, msg_bytes);
+  return core::decrypt(cipher, kat.key, msg_bytes, kat.params);
+}
+
 TEST_P(KnownAnswer, EncryptMatchesFixture) {
   const KatFile kat = load_kat(GetParam());
   for (std::size_t i = 0; i < kat.cases.size(); ++i) {
     const auto& c = kat.cases[i];
-    const auto ct = kat.algorithm == "hhea"
-                        ? crypto::hhea_encrypt(c.msg, kat.key, kat.seed, kat.params)
-                        : core::encrypt(c.msg, kat.key, kat.seed, kat.params);
-    EXPECT_EQ(util::bytes_to_hex(ct), util::bytes_to_hex(c.cipher))
+    EXPECT_EQ(util::bytes_to_hex(kat_encrypt(kat, c.msg)), util::bytes_to_hex(c.cipher))
         << GetParam() << " case " << i;
   }
 }
@@ -93,18 +115,15 @@ TEST_P(KnownAnswer, DecryptMatchesFixture) {
   const KatFile kat = load_kat(GetParam());
   for (std::size_t i = 0; i < kat.cases.size(); ++i) {
     const auto& c = kat.cases[i];
-    const auto msg =
-        kat.algorithm == "hhea"
-            ? crypto::hhea_decrypt(c.cipher, kat.key, c.msg.size(), kat.params)
-            : core::decrypt(c.cipher, kat.key, c.msg.size(), kat.params);
-    EXPECT_EQ(util::bytes_to_hex(msg), util::bytes_to_hex(c.msg))
+    EXPECT_EQ(util::bytes_to_hex(kat_decrypt(kat, c.cipher, c.msg.size())),
+              util::bytes_to_hex(c.msg))
         << GetParam() << " case " << i;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Fixtures, KnownAnswer,
                          ::testing::Values("mhhea_paper.kat", "mhhea_hardware.kat",
-                                           "hhea_paper.kat"),
+                                           "hhea_paper.kat", "yaea_s.kat"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            std::string name = info.param;
                            for (char& ch : name) {

@@ -162,6 +162,49 @@ TEST(Lfsr, NextBlockAdvancesDegreeSteps) {
   EXPECT_NE(block, 0u);
 }
 
+TEST(LfsrJump, MatchesAdvanceForBothForms) {
+  for (const Lfsr::Form form : {Lfsr::Form::fibonacci, Lfsr::Form::galois}) {
+    for (const int degree : {2, 7, 16, 17, 23, 32}) {
+      for (const std::uint64_t n : {0ull, 1ull, 2ull, 15ull, 16ull, 100ull, 12345ull}) {
+        // 0x5EED is non-zero in the low bits of every degree in the sweep.
+        Lfsr jumped(primitive_polynomial(degree), 0x5EED, form);
+        Lfsr stepped = jumped;
+        jumped.jump(n);
+        stepped.advance(n);
+        EXPECT_EQ(jumped.state(), stepped.state())
+            << "degree=" << degree << " n=" << n << " form=" << static_cast<int>(form);
+      }
+    }
+  }
+}
+
+TEST(LfsrJump, FullPeriodIsIdentity) {
+  // Jumping by the register period (astronomically expensive to step) must
+  // land back on the start state — the O(log n) distance is the point.
+  for (const Lfsr::Form form : {Lfsr::Form::fibonacci, Lfsr::Form::galois}) {
+    Lfsr l(primitive_polynomial(32), 0xDEADBEEF, form);
+    const std::uint64_t start = l.state();
+    l.jump(l.max_period());
+    EXPECT_EQ(l.state(), start);
+    // One full period plus a few: equivalent to the few alone.
+    Lfsr few = l;
+    few.advance(5);
+    l.jump(l.max_period() + 5);
+    EXPECT_EQ(l.state(), few.state());
+  }
+}
+
+TEST(LfsrJump, ComposesWithNextBlock) {
+  // Jump-ahead by k blocks == discarding k next_block() calls: the contract
+  // LfsrCover::skip_blocks builds on.
+  Lfsr jumped = make_hiding_vector_lfsr(0xACE1);
+  Lfsr stepped = make_hiding_vector_lfsr(0xACE1);
+  for (int i = 0; i < 37; ++i) (void)stepped.next_block();
+  jumped.jump(37 * 16);
+  EXPECT_EQ(jumped.state(), stepped.state());
+  EXPECT_EQ(jumped.next_block(), stepped.next_block());
+}
+
 TEST(Lfsr, BlocksLookBalanced) {
   // Sanity check of the hiding-vector source: over many blocks, ones and
   // zeros should be near 50/50 (full statistical battery in attack tests).

@@ -110,6 +110,21 @@ TEST(BitReader, RewindRestarts) {
   EXPECT_EQ(r.read_bits(8), 0x81u);
 }
 
+TEST(BitReader, SeekJumpsToAbsoluteBitOffset) {
+  const std::array<std::uint8_t, 4> data = {0x12, 0x34, 0x56, 0x78};
+  BitReader r(data);
+  BitReader stepped(data);
+  (void)stepped.read_bits(13);
+  r.seek(13);
+  EXPECT_EQ(r.position(), 13u);
+  EXPECT_EQ(r.read_bits(11), stepped.read_bits(11));
+  r.seek(0);
+  EXPECT_EQ(r.read_bits(8), 0x12u);
+  r.seek(32);  // seeking exactly to EOF is fine
+  EXPECT_TRUE(r.eof());
+  EXPECT_THROW(r.seek(33), std::out_of_range);
+}
+
 TEST(BitWriter, RoundTripWithReader) {
   Xoshiro256 rng(42);
   BitWriter w;
