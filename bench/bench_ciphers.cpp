@@ -10,8 +10,11 @@
 // per-block latency. A decrypt round-trip of the first message guards
 // against benchmarking a broken configuration.
 //
-// Usage: bench_ciphers [--out FILE] [--quick] [--threads N] [--shards N]
-//                      [--seed S]
+// Usage: bench_ciphers [--out FILE] [--quick] [--reps N] [--threads N]
+//                      [--shards N] [--seed S]
+//   --reps N     repetitions per cell (default 9, or 2 with --quick; the
+//                bench_smoke ctest runs --reps 1 so harness breakage fails
+//                CI instead of only the artifact step)
 //   --threads N  multi-thread column to sweep alongside 1 (default: hardware
 //                concurrency; the sweep is {1} only on a single-core host —
 //                oversubscribing one core measures scheduler noise, not the
@@ -291,13 +294,21 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
 int main(int argc, char** argv) try {
   std::string out_path = "BENCH_ciphers.json";
   bool quick = false;
-  int threads_flag = 0;  // 0 = derive from hardware
-  int shards_flag = 0;   // 0 = derive from hardware
+  int threads_flag = 0;    // 0 = derive from hardware
+  int shards_flag = 0;     // 0 = derive from hardware
+  std::size_t reps_flag = 0;  // 0 = derive from --quick
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      std::uint64_t v = 0;
+      if (!parse_u64(argv[++i], &v) || v < 1 || v > 1000) {
+        std::cerr << "bench_ciphers: --reps must be an integer in [1, 1000]\n";
+        return 2;
+      }
+      reps_flag = static_cast<std::size_t>(v);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       std::uint64_t v = 0;
       if (!parse_u64(argv[++i], &v) || v < 1 || v > 1024) {
@@ -318,8 +329,8 @@ int main(int argc, char** argv) try {
         return 2;
       }
     } else {
-      std::cerr << "usage: bench_ciphers [--out FILE] [--quick] [--threads N] "
-                   "[--shards N] [--seed S]\n";
+      std::cerr << "usage: bench_ciphers [--out FILE] [--quick] [--reps N] "
+                   "[--threads N] [--shards N] [--seed S]\n";
       return 2;
     }
   }
@@ -342,7 +353,7 @@ int main(int argc, char** argv) try {
     if (s <= max_shards) columns.push_back({1, s});
   }
   const std::vector<std::size_t> sizes = {64, 1024, 16384};
-  const std::size_t reps = quick ? 2 : 9;
+  const std::size_t reps = reps_flag > 0 ? reps_flag : (quick ? 2 : 9);
 
   std::vector<CellResult> cells;
   for (const auto& name : CipherRegistry::builtin().names()) {

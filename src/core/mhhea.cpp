@@ -64,18 +64,18 @@ Encryptor::BlockPlan Encryptor::plan_block(std::uint64_t v, std::size_t remainin
   return BlockPlan{r.kn1, cap, w};
 }
 
-void Encryptor::emit_block(std::uint64_t v, const BlockPlan& plan, std::uint64_t msg_word,
-                           bool framed, TailBlock& tb) {
-  const detail::PairCtx& pc = pair_ctx_[pair_idx_];
-  if (++pair_idx_ == pair_ctx_.size()) pair_idx_ = 0;
-  const std::uint64_t ct =
-      embed_bits_with_pattern(v, plan.kn1, pc.pattern, msg_word, plan.w);
-  // Append serialized (little-endian): push_back beats resize+store here —
-  // resize value-initializes the new bytes before they are overwritten.
+void Encryptor::append_block(std::uint64_t ct) {
   const int bb = params_.block_bytes();
   for (int i = 0; i < bb; ++i) {
     cipher_.push_back(static_cast<std::uint8_t>((ct >> (8 * i)) & 0xFF));
   }
+}
+
+void Encryptor::emit_block(std::uint64_t v, const BlockPlan& plan, std::uint64_t msg_word,
+                           bool framed, TailBlock& tb) {
+  const detail::PairCtx& pc = pair_ctx_[pair_idx_];
+  if (++pair_idx_ == pair_ctx_.size()) pair_idx_ = 0;
+  append_block(embed_bits_with_pattern(v, plan.kn1, pc.pattern, msg_word, plan.w));
   ++block_index_;
   msg_bits_ += static_cast<std::uint64_t>(plan.w);
   tb = TailBlock{v, msg_word & util::mask64(plan.w), plan.w};
@@ -137,8 +137,7 @@ void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bit
   // message bits (16 for the paper's hardware).
   const auto open_frame_if_needed = [&] {
     if (framed && frame_remaining_ == 0) {
-      frame_size_ = static_cast<int>(
-          std::min<std::size_t>(remaining, static_cast<std::size_t>(params_.vector_bits)));
+      frame_size_ = params_.frame_budget(remaining);
       frame_remaining_ = frame_size_;
       frame_log_.clear();
     }
@@ -165,9 +164,14 @@ void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bit
   }
   assert(replay_n == 0);
 
-  // Steady state: prefetched covers, one whole-word read + embed per block.
+  // Steady state. Framed policy: whole-frame batches (one message-word read
+  // and one round of bookkeeping per frame). Continuous policy: prefetched
+  // covers, one whole-word read + embed per block.
+  if (framed) {
+    encrypt_framed_frames(reader, remaining, last, last_cap);
+    remaining = 0;
+  }
   while (remaining > 0) {
-    open_frame_if_needed();
     if (cover_pos_ == cover_len_) refill_cover(remaining);
     const std::uint64_t v = cover_buf_[cover_pos_++];
     const BlockPlan plan = plan_block(v, remaining, framed);
@@ -188,6 +192,59 @@ void Encryptor::encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bit
     }
   } else if (last.w < last_cap) {
     tail_.push_back(last);
+  }
+}
+
+void Encryptor::encrypt_framed_frames(util::BitReader& reader, std::size_t remaining,
+                                      TailBlock& last, int& last_cap) {
+  while (remaining > 0) {
+    if (frame_remaining_ == 0) {
+      frame_size_ = params_.frame_budget(remaining);
+      frame_remaining_ = frame_size_;
+      frame_log_.clear();
+    }
+    // This feed's contribution to the open frame, read in one bulk pull.
+    const int take = static_cast<int>(std::min<std::size_t>(
+        remaining, static_cast<std::size_t>(frame_remaining_)));
+    const bool feed_ends_here = static_cast<std::size_t>(take) == remaining;
+    const std::uint64_t word = reader.read_bits(take);
+    int budget = frame_remaining_;
+    int consumed = 0;
+    try {
+      while (consumed < take) {
+        if (cover_pos_ == cover_len_) {
+          refill_cover(remaining - static_cast<std::size_t>(consumed));
+        }
+        const std::uint64_t v = cover_buf_[cover_pos_++];
+        const detail::PairCtx& pc = pair_ctx_[pair_idx_];
+        if (++pair_idx_ == pair_ctx_.size()) pair_idx_ = 0;
+        const ScrambledRange r = scramble_range(v, pc.pair, params_);
+        const int cap = std::min(r.width(), budget);
+        const int w = std::min(cap, take - consumed);
+        const std::uint64_t bits = (word >> consumed) & util::mask64(w);
+        append_block(embed_bits_with_pattern(v, r.kn1, pc.pattern, bits, w));
+        ++block_index_;
+        budget -= w;
+        consumed += w;
+        last = TailBlock{v, bits, w};
+        last_cap = cap;
+        // Only the frame the feed ends in can re-open, so only it needs the
+        // replay log (blocks this frame received in earlier feeds are
+        // already logged — each earlier feed ended in it too).
+        if (feed_ends_here) frame_log_.push_back(last);
+      }
+    } catch (...) {
+      // Cover exhaustion mid-frame: leave the same observable state as the
+      // block-at-a-time walk — bits already embedded are accounted and the
+      // caller's reader sits exactly past them, not past the bulk read.
+      reader.seek(reader.position() - static_cast<std::size_t>(take - consumed));
+      msg_bits_ += static_cast<std::uint64_t>(consumed);
+      frame_remaining_ = budget;
+      throw;
+    }
+    msg_bits_ += static_cast<std::uint64_t>(take);
+    frame_remaining_ = budget;
+    remaining -= static_cast<std::size_t>(take);
   }
 }
 
@@ -232,8 +289,7 @@ int Decryptor::feed_block(std::uint64_t block) {
   if (done()) return 0;
   const bool framed = params_.policy == FramePolicy::framed;
   if (framed && frame_remaining_ == 0) {
-    frame_remaining_ = static_cast<int>(std::min<std::uint64_t>(
-        total_bits_ - recovered_, static_cast<std::uint64_t>(params_.vector_bits)));
+    frame_remaining_ = params_.frame_budget(total_bits_ - recovered_);
   }
   const detail::PairCtx& pc = pair_ctx_[pair_idx_];
   if (++pair_idx_ == pair_ctx_.size()) pair_idx_ = 0;
@@ -257,14 +313,56 @@ void Decryptor::feed_bytes(std::span<const std::uint8_t> cipher) {
   if (cipher.size() % bb != 0) {
     throw std::invalid_argument("Decryptor::feed_bytes: ciphertext not block-aligned");
   }
-  for (std::size_t i = 0; i < cipher.size(); i += bb) {
+  if (cipher.empty()) return;
+  if (params_.policy != FramePolicy::framed) {
+    for (std::size_t i = 0; i < cipher.size(); i += bb) {
+      if (done()) {
+        // Every block must carry message bits; blocks beyond the message end
+        // mean a corrupted or padded ciphertext and must not pass silently.
+        throw std::invalid_argument(
+            "Decryptor::feed_bytes: trailing ciphertext blocks after message end");
+      }
+      feed_block(util::load_le(cipher.data() + i, static_cast<int>(bb)));
+    }
+    return;
+  }
+  // Framed policy, frame-batched: a frame's budget can only hit zero at a
+  // frame boundary (every block carries >= 1 bit), so the walk extracts a
+  // whole frame's bits into one word and writes them out in a single
+  // write_bits, with recovered_/frame bookkeeping updated once per frame.
+  // Bit-identical to repeated feed_block, including mid-frame state when the
+  // buffer ends inside a frame (streaming feeds).
+  std::size_t i = 0;
+  while (i < cipher.size()) {
     if (done()) {
-      // Every block must carry message bits; blocks beyond the message end
-      // mean a corrupted or padded ciphertext and must not pass silently.
       throw std::invalid_argument(
           "Decryptor::feed_bytes: trailing ciphertext blocks after message end");
     }
-    feed_block(util::load_le(cipher.data() + i, static_cast<int>(bb)));
+    if (frame_remaining_ == 0) {
+      frame_remaining_ = params_.frame_budget(total_bits_ - recovered_);
+    }
+    int budget = frame_remaining_;
+    std::uint64_t word = 0;
+    int consumed = 0;
+    while (budget > 0 && i < cipher.size()) {
+      const std::uint64_t v = util::load_le(cipher.data() + i, static_cast<int>(bb));
+      i += bb;
+      const detail::PairCtx& pc = pair_ctx_[pair_idx_];
+      if (++pair_idx_ == pair_ctx_.size()) pair_idx_ = 0;
+      const ScrambledRange range = scramble_range(v, pc.pair, params_);
+      const int w = std::min(range.width(), budget);
+      word |= extract_bits_with_pattern(v, range.kn1, pc.pattern, w) << consumed;
+      consumed += w;
+      budget -= w;
+      ++block_index_;
+    }
+    out_.write_bits(word, consumed);
+    recovered_ += static_cast<std::uint64_t>(consumed);
+    frame_remaining_ = budget;
+    // Invalidate per frame, not after the loop: the trailing-ciphertext
+    // throw above must not leave message() serving a stale pre-throw
+    // snapshot of frames this call already extracted.
+    cache_valid_ = false;
   }
 }
 

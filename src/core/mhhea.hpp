@@ -107,6 +107,19 @@ class Encryptor {
   };
 
   void encrypt_frame_bit_run(util::BitReader& reader, std::size_t n_bits);
+  /// Frame-batched steady state of the framed policy: plans and emits a
+  /// whole frame's block run per pass — one bulk message-word read (a frame
+  /// is <= vector_bits <= 64 bits), the frame budget resolved up front, and
+  /// msg_bits_/frame bookkeeping written back once per frame instead of once
+  /// per block. frame_log_ is maintained only for the frame this feed ends
+  /// in — the only one the tail-replay can ever re-open. Bit-identical to
+  /// the block-at-a-time walk (pinned by mhhea_hardware.kat/mhhea_sealed.kat
+  /// and the reference-model sweep).
+  void encrypt_framed_frames(util::BitReader& reader, std::size_t remaining,
+                             TailBlock& last, int& last_cap);
+  /// Append one serialized ciphertext block (block_bytes() little-endian
+  /// bytes; push_back beats resize+store — resize value-initializes).
+  void append_block(std::uint64_t ct);
   [[nodiscard]] BlockPlan plan_block(std::uint64_t v, std::size_t remaining,
                                      bool framed) const;
   /// Embed a planned block and update stream/frame bookkeeping; fills `tb`

@@ -159,39 +159,60 @@ std::uint64_t encrypt_range(const ShardRange& r, std::span<const std::uint8_t> m
   std::size_t pair_idx = static_cast<std::size_t>(r.block_begin % pairs.size());
   std::uint64_t remaining = r.n_bits;
   std::uint64_t emitted = 0;
-  int frame_remaining = 0;  // shard boundaries are frame starts
   std::array<std::uint64_t, kFetchChunk> buf;
   std::size_t pos = 0;
   std::size_t len = 0;
   std::uint8_t* dst = out + r.block_begin * static_cast<std::uint64_t>(bb);
+  const auto fetch = [&] {
+    // Never fetch past the planned block range, so finite covers are
+    // consumed exactly as in the sequential formulation.
+    const auto want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kFetchChunk, r.max_blocks - emitted));
+    len = cover->next_blocks(params.vector_bits, std::span(buf.data(), want));
+    pos = 0;
+    if (len == 0) throw std::runtime_error("encrypt_sharded: cover source exhausted");
+  };
+  if (framed) {
+    // Frame-batched: shard boundaries are frame starts, so each pass plans
+    // one whole frame — a single bulk read of its message bits, then the
+    // block run embedding word slices.
+    while (remaining > 0) {
+      const int frame = params.frame_budget(remaining);
+      const std::uint64_t word = reader.read_bits(frame);
+      int consumed = 0;
+      while (consumed < frame) {
+        if (pos == len) fetch();
+        const std::uint64_t v = buf[pos++];
+        const detail::PairCtx& pc = pairs[pair_idx];
+        if (++pair_idx == pairs.size()) pair_idx = 0;
+        const ScrambledRange range = scramble_range(v, pc.pair, params);
+        const int w = std::min(range.width(), frame - consumed);
+        util::store_le(dst,
+                       embed_bits_with_pattern(v, range.kn1, pc.pattern,
+                                               (word >> consumed) & util::mask64(w), w),
+                       bb);
+        dst += bb;
+        ++emitted;
+        consumed += w;
+      }
+      remaining -= static_cast<std::uint64_t>(frame);
+    }
+    return emitted;
+  }
   while (remaining > 0) {
-    if (framed && frame_remaining == 0) {
-      frame_remaining = static_cast<int>(
-          std::min<std::uint64_t>(remaining, static_cast<std::uint64_t>(params.vector_bits)));
-    }
-    if (pos == len) {
-      // Never fetch past the planned block range, so finite covers are
-      // consumed exactly as in the sequential formulation.
-      const auto want = static_cast<std::size_t>(
-          std::min<std::uint64_t>(kFetchChunk, r.max_blocks - emitted));
-      len = cover->next_blocks(params.vector_bits, std::span(buf.data(), want));
-      pos = 0;
-      if (len == 0) throw std::runtime_error("encrypt_sharded: cover source exhausted");
-    }
+    if (pos == len) fetch();
     const std::uint64_t v = buf[pos++];
     const detail::PairCtx& pc = pairs[pair_idx];
     if (++pair_idx == pairs.size()) pair_idx = 0;
     const ScrambledRange range = scramble_range(v, pc.pair, params);
-    const int cap = framed ? std::min(range.width(), frame_remaining) : range.width();
     const int w = static_cast<int>(std::min<std::uint64_t>(
-        static_cast<std::uint64_t>(cap), remaining));
+        static_cast<std::uint64_t>(range.width()), remaining));
     const std::uint64_t ct =
         embed_bits_with_pattern(v, range.kn1, pc.pattern, reader.read_bits(w), w);
     util::store_le(dst, ct, bb);
     dst += bb;
     ++emitted;
     remaining -= static_cast<std::uint64_t>(w);
-    if (framed) frame_remaining -= w;
   }
   return emitted;
 }
@@ -218,24 +239,42 @@ ExtractResult extract_range(std::span<const std::uint8_t> cipher, const ShardRan
   util::BitWriter out;
   out.reserve_bits(static_cast<std::size_t>(r.max_blocks) * static_cast<std::size_t>(h));
   ExtractResult res;
-  std::uint64_t remaining = r.n_bits;  // framed only
-  int frame_remaining = 0;
   const std::uint8_t* src = cipher.data() + r.block_begin * static_cast<std::uint64_t>(bb);
+  if (framed) {
+    // Frame-batched: shard boundaries are frame starts and the plan walk
+    // made max_blocks cover whole frames, so each pass collects one frame's
+    // bits into a word and writes them with a single write_bits.
+    std::uint64_t remaining = r.n_bits;
+    for (std::uint64_t b = 0; b < r.max_blocks;) {
+      const int frame = params.frame_budget(remaining);
+      if (frame == 0) break;  // blocks past the bit budget carry nothing
+      std::uint64_t word = 0;
+      int consumed = 0;
+      while (consumed < frame && b < r.max_blocks) {
+        const std::uint64_t v = util::load_le(src, bb);
+        src += bb;
+        ++b;
+        const detail::PairCtx& pc = pairs[pair_idx];
+        if (++pair_idx == pairs.size()) pair_idx = 0;
+        const ScrambledRange range = scramble_range(v, pc.pair, params);
+        const int w = std::min(range.width(), frame - consumed);
+        word |= extract_bits_with_pattern(v, range.kn1, pc.pattern, w) << consumed;
+        consumed += w;
+        res.last_width = w;
+      }
+      out.write_bits(word, consumed);
+      res.bits += static_cast<std::uint64_t>(consumed);
+      remaining -= static_cast<std::uint64_t>(consumed);
+    }
+    res.bytes = out.take();
+    return res;
+  }
   for (std::uint64_t b = 0; b < r.max_blocks; ++b, src += bb) {
     const std::uint64_t v = util::load_le(src, bb);
     const detail::PairCtx& pc = pairs[pair_idx];
     if (++pair_idx == pairs.size()) pair_idx = 0;
     const ScrambledRange range = scramble_range(v, pc.pair, params);
-    int w = range.width();
-    if (framed) {
-      if (frame_remaining == 0) {
-        frame_remaining = static_cast<int>(std::min<std::uint64_t>(
-            remaining, static_cast<std::uint64_t>(params.vector_bits)));
-      }
-      w = std::min(w, frame_remaining);
-      frame_remaining -= w;
-      remaining -= static_cast<std::uint64_t>(w);
-    }
+    const int w = range.width();
     out.write_bits(extract_bits_with_pattern(v, range.kn1, pc.pattern, w), w);
     res.bits += static_cast<std::uint64_t>(w);
     res.last_width = w;

@@ -93,22 +93,23 @@ std::vector<ShardRange> plan_framed_walk(const BlockParams& params,
   std::size_t next_boundary = 0;
   std::uint64_t bit = 0;
   std::uint64_t block = 0;
-  int frame_remaining = 0;
+  // Frame-batched walk: resolve each frame's budget up front and drain it in
+  // an inner run — the boundary snap and frame bookkeeping run once per
+  // frame, not once per block. Shard begins can only sit on frame starts
+  // (frames consume whole budgets), so the snap stays exact.
   while (bit < total_bits) {
-    if (frame_remaining == 0) {
-      // Frame starts are the only points where the running bit count can sit
-      // on a boundary, so shard begins snap here.
-      if (next_boundary < boundary_bits.size() && bit == boundary_bits[next_boundary]) {
-        ranges[next_boundary].block_begin = block;
-        ranges[next_boundary].bit_begin = bit;
-        ++next_boundary;
-      }
-      frame_remaining = static_cast<int>(std::min<std::uint64_t>(total_bits - bit, vb));
+    if (next_boundary < boundary_bits.size() && bit == boundary_bits[next_boundary]) {
+      ranges[next_boundary].block_begin = block;
+      ranges[next_boundary].bit_begin = bit;
+      ++next_boundary;
     }
-    const int w = std::min(width_at(block), frame_remaining);
-    bit += static_cast<std::uint64_t>(w);
-    frame_remaining -= w;
-    ++block;
+    const int frame = params.frame_budget(total_bits - bit);
+    int budget = frame;
+    while (budget > 0) {
+      budget -= std::min(width_at(block), budget);
+      ++block;
+    }
+    bit += static_cast<std::uint64_t>(frame);
   }
   for (std::size_t i = 0; i < ranges.size(); ++i) {
     const bool last = i + 1 == ranges.size();

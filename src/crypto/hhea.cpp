@@ -28,8 +28,7 @@ void HheaEncryptor::feed(std::span<const std::uint8_t> msg) {
   blocks_.reserve(blocks_.size() + remaining / 3 + 4);
   while (remaining > 0) {
     if (framed && frame_remaining_ == 0) {
-      frame_remaining_ = static_cast<int>(
-          std::min<std::size_t>(remaining, static_cast<std::size_t>(params_.vector_bits)));
+      frame_remaining_ = params_.frame_budget(remaining);
     }
     const std::uint64_t v = cover_->next_block(params_.vector_bits);
     const core::KeyPair& pair = key_.pair(static_cast<int>(pair_idx_));
@@ -75,8 +74,7 @@ int HheaDecryptor::feed_block(std::uint64_t block) {
   if (done()) return 0;
   const bool framed = params_.policy == FramePolicy::framed;
   if (framed && frame_remaining_ == 0) {
-    frame_remaining_ = static_cast<int>(std::min<std::uint64_t>(
-        total_bits_ - recovered_, static_cast<std::uint64_t>(params_.vector_bits)));
+    frame_remaining_ = params_.frame_budget(total_bits_ - recovered_);
   }
   const core::KeyPair& pair = key_.pair(static_cast<int>(pair_idx_));
   if (++pair_idx_ == static_cast<std::size_t>(key_.size())) pair_idx_ = 0;
@@ -217,8 +215,7 @@ void encrypt_range(const ShardRange& r, std::span<const std::uint8_t> msg,
   std::uint8_t* dst = out + r.block_begin * static_cast<std::uint64_t>(bb);
   for (std::uint64_t b = 0; b < r.max_blocks; ++b, dst += bb) {
     if (framed && frame_remaining == 0) {
-      frame_remaining = static_cast<int>(
-          std::min<std::uint64_t>(remaining, static_cast<std::uint64_t>(params.vector_bits)));
+      frame_remaining = params.frame_budget(remaining);
     }
     if (pos == len) {
       const auto want = static_cast<std::size_t>(
@@ -256,8 +253,7 @@ std::vector<std::uint8_t> extract_range(std::span<const std::uint8_t> cipher,
   const std::uint8_t* src = cipher.data() + r.block_begin * static_cast<std::uint64_t>(bb);
   for (std::uint64_t b = 0; b < r.max_blocks; ++b, src += bb) {
     if (framed && frame_remaining == 0) {
-      frame_remaining = static_cast<int>(
-          std::min<std::uint64_t>(remaining, static_cast<std::uint64_t>(params.vector_bits)));
+      frame_remaining = params.frame_budget(remaining);
     }
     const std::uint64_t v = util::load_le(src, bb);
     const core::KeyPair& pair = key.pair(static_cast<int>(pair_idx));

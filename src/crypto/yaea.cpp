@@ -25,17 +25,51 @@ std::uint8_t GeffeKeystream::next_byte() noexcept {
   return v;
 }
 
+void GeffeKeystream::next_bytes(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  for (; i + 8 <= out.size(); i += 8) {
+    const std::uint64_t a = a_.step_bits(64);
+    const std::uint64_t b = b_.step_bits(64);
+    const std::uint64_t c = c_.step_bits(64);
+    const std::uint64_t z = (a & b) | (~a & c);
+    for (int k = 0; k < 8; ++k) {
+      out[i + static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(z >> (8 * k));
+    }
+  }
+  if (i < out.size()) {
+    const int n = static_cast<int>(out.size() - i) * 8;
+    const std::uint64_t a = a_.step_bits(n);
+    const std::uint64_t b = b_.step_bits(n);
+    const std::uint64_t c = c_.step_bits(n);
+    const std::uint64_t z = (a & b) | (~a & c);
+    for (int k = 0; i < out.size(); ++i, ++k) {
+      out[i] = static_cast<std::uint8_t>(z >> (8 * k));
+    }
+  }
+}
+
 void GeffeKeystream::jump(std::uint64_t n_bits) {
   a_.jump(n_bits);
   b_.jump(n_bits);
   c_.jump(n_bits);
 }
 
+void GeffeKeystream::warm() {
+  for (lfsr::Lfsr* r : {&a_, &b_, &c_}) {
+    const std::uint64_t s = r->state();
+    (void)r->next_block();  // builds the leap tables
+    r->jump(0);             // builds the one-step jump matrix
+    r->set_state(s);
+  }
+}
+
 Yaea::Yaea(KeyType key, int shards)
-    : key_(key), shards_(util::resolve_parallelism(shards, "Yaea")) {
-  // Validate the seeds eagerly (the registry contract: bad configurations
-  // fail at construction, not mid-sweep).
-  (void)GeffeKeystream(key_.seed_a, key_.seed_b, key_.seed_c);
+    : key_(key),
+      shards_(util::resolve_parallelism(shards, "Yaea")),
+      // Constructing the prototype validates the seeds eagerly (the registry
+      // contract: bad configurations fail at construction, not mid-sweep).
+      ks_proto_(key.seed_a, key.seed_b, key.seed_c) {
+  ks_proto_.warm();
   if (shards_ > 1) pool_ = std::make_unique<util::ThreadPool>(shards_);
 }
 
@@ -48,9 +82,12 @@ std::vector<std::uint8_t> Yaea::encrypt(std::span<const std::uint8_t> msg) {
   util::run_indexed(pool_.get(), n, [&](std::size_t s) {
     const std::size_t begin = msg.size() * s / n;
     const std::size_t end = msg.size() * (s + 1) / n;
-    GeffeKeystream ks(key_.seed_a, key_.seed_b, key_.seed_c);
+    GeffeKeystream ks = ks_proto_;
     ks.jump(static_cast<std::uint64_t>(begin) * 8);
-    for (std::size_t i = begin; i < end; ++i) out[i] = msg[i] ^ ks.next_byte();
+    // Bulk keystream straight into the output slice, then one vectorizable
+    // XOR pass over the range.
+    ks.next_bytes(std::span(out.data() + begin, end - begin));
+    for (std::size_t i = begin; i < end; ++i) out[i] ^= msg[i];
   });
   return out;
 }

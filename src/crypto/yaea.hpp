@@ -46,11 +46,28 @@ class GeffeKeystream {
   /// One keystream byte (8 bits, LSB first).
   [[nodiscard]] std::uint8_t next_byte() noexcept;
 
+  /// Fill `out` with the next out.size() keystream bytes — the word-wide
+  /// hot path. Each iteration pulls 64 bits per register through the
+  /// Lfsr::step_bits leap machinery and combines them with one word-wise
+  /// z = (a & b) | (~a & c), emitting 8 bytes at a time (LSB-first bit
+  /// order makes byte k of the combined word keystream byte k). Bit-exact
+  /// with repeated next_byte() calls, including the register states left
+  /// behind, so bulk and serial pulls can be interleaved freely. An empty
+  /// span is a no-op.
+  void next_bytes(std::span<std::uint8_t> out);
+
   /// Advance the keystream by `n_bits` positions in O(log n) — every output
   /// bit consumes exactly one step of each component register, so the jump
   /// is three Lfsr::jump calls. This is what lets a shard worker seed its
   /// keystream at an arbitrary byte offset without replaying the stream.
   void jump(std::uint64_t n_bits);
+
+  /// Build the component registers' leap tables and jump matrices in place
+  /// without advancing the stream. Copies share the built tables, so warming
+  /// one long-lived prototype makes per-message/per-shard copies start on
+  /// the fast path immediately — the same amortization MhheaCipher applies
+  /// to its cover prototype.
+  void warm();
 
  private:
   lfsr::Lfsr a_, b_, c_;
@@ -87,6 +104,9 @@ class Yaea final : public Cipher {
  private:
   KeyType key_;
   int shards_;
+  /// Pristine keystream at the seed state with warmed tables; every call
+  /// copies it (cheap — tables are shared) instead of re-deriving them.
+  GeffeKeystream ks_proto_;
   std::unique_ptr<util::ThreadPool> pool_;  // created only when shards_ > 1
 };
 

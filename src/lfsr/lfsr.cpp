@@ -33,8 +33,27 @@ bool Lfsr::step() noexcept {
   return out;
 }
 
-std::uint64_t Lfsr::step_bits(int n) noexcept {
+std::uint64_t Lfsr::step_bits(int n) {
   std::uint64_t v = 0;
+  int filled = 0;
+  if (form_ == Form::fibonacci) {
+    // Whole-degree runs: the Fibonacci state is the next `degree` output
+    // bits, so emit it verbatim and leap the register forward in one
+    // table-lookup chain. (next_block() is bit-identical to advance(degree).)
+    while (n - filled >= poly_.degree) {
+      v |= state_ << filled;
+      filled += poly_.degree;
+      (void)next_block();
+    }
+    // Sub-degree tail: emit the low bits of the state, then advance the
+    // register by exactly that many serial steps so interleaved callers see
+    // the same stream as n plain step() calls.
+    if (filled < n) {
+      v |= (state_ & util::mask64(n - filled)) << filled;
+      for (int i = filled; i < n; ++i) (void)step();
+    }
+    return v;
+  }
   for (int i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(step()) << i;
   return v;
 }

@@ -38,7 +38,16 @@ class Lfsr {
 
   /// Shift `n` (<=64) times; output bits packed LSB-first (first bit out at
   /// bit 0 of the result).
-  [[nodiscard]] std::uint64_t step_bits(int n) noexcept;
+  ///
+  /// Fibonacci registers take the word-wide fast path: state bit i holds
+  /// sequence element s_{n+i} (see the stepping conventions above), so the
+  /// next `degree` output bits ARE the current state and a whole
+  /// degree-sized run costs one leap-table application (next_block) instead
+  /// of `degree` serial shifts. Galois registers fall back to bit-serial
+  /// stepping — their state is not a window of the output sequence. Both
+  /// paths are bit-identical to n plain step() calls; the leap tables are
+  /// built lazily on first use (hence not noexcept).
+  [[nodiscard]] std::uint64_t step_bits(int n);
 
   /// Advance `n` steps, discarding output.
   void advance(std::uint64_t n) noexcept;

@@ -1,0 +1,49 @@
+# bench_smoke ctest: run the benchmark harness end to end (one repetition,
+# sequential columns only) and validate its JSON — every registry cipher must
+# appear with nonzero throughput. Harness breakage therefore fails `ctest`
+# instead of only the CI artifact step.
+#
+# Invoked as:
+#   cmake -DBENCH_BIN=<path/to/bench_ciphers> -DOUT_JSON=<path> -P bench_smoke.cmake
+cmake_minimum_required(VERSION 3.24)  # script mode: opt into modern policies
+if(NOT DEFINED BENCH_BIN OR NOT DEFINED OUT_JSON)
+  message(FATAL_ERROR "bench_smoke: BENCH_BIN and OUT_JSON must be defined")
+endif()
+
+execute_process(
+  COMMAND "${BENCH_BIN}" --reps 1 --threads 1 --shards 1 --seed 0xB0A710AD
+          --out "${OUT_JSON}"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke: bench_ciphers exited with ${rc}")
+endif()
+
+file(READ "${OUT_JSON}" doc)
+string(JSON n_results LENGTH "${doc}" results)  # FATAL_ERROR on invalid JSON
+# 4 ciphers x 3 sizes at threads=1 shards=1.
+if(n_results LESS 12)
+  message(FATAL_ERROR "bench_smoke: expected >= 12 result cells, got ${n_results}")
+endif()
+
+set(seen "")
+math(EXPR last "${n_results} - 1")
+foreach(i RANGE ${last})
+  string(JSON cipher GET "${doc}" results ${i} cipher)
+  string(JSON mbps GET "${doc}" results ${i} mb_per_s_mean)
+  string(JSON expansion GET "${doc}" results ${i} expansion)
+  if(NOT mbps GREATER 0)
+    message(FATAL_ERROR "bench_smoke: ${cipher} cell ${i} has non-positive MB/s: ${mbps}")
+  endif()
+  if(NOT expansion GREATER 0)
+    message(FATAL_ERROR "bench_smoke: ${cipher} cell ${i} has non-positive expansion")
+  endif()
+  list(APPEND seen "${cipher}")
+endforeach()
+
+foreach(want MHHEA MHHEA-sealed HHEA YAEA-S)
+  if(NOT "${want}" IN_LIST seen)
+    message(FATAL_ERROR "bench_smoke: registry cipher ${want} missing from results")
+  endif()
+endforeach()
+message(STATUS "bench_smoke: ${n_results} cells OK")

@@ -4,14 +4,18 @@
 // the earliest layer that can detect it.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "src/core/cover.hpp"
+#include "src/core/frame.hpp"
 #include "src/core/key.hpp"
 #include "src/core/mhhea.hpp"
 #include "src/core/params.hpp"
+#include "src/core/shard.hpp"
 #include "src/crypto/hhea.hpp"
 #include "src/crypto/hhea_cipher.hpp"
 #include "src/crypto/mhhea_cipher.hpp"
@@ -230,6 +234,157 @@ TEST(EncryptorFailure, FeedBitsBeyondReaderThrows) {
   const std::vector<std::uint8_t> buf(2, 0xFF);
   util::BitReader reader(buf);
   EXPECT_THROW(enc.feed_bits(reader, 17), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- bulk Geffe API
+
+TEST(GeffeBulk, EmptySpanIsANoOp) {
+  crypto::GeffeKeystream bulk(0x1ACE, 0x2BEEF, 0x3CAFE);
+  crypto::GeffeKeystream serial(0x1ACE, 0x2BEEF, 0x3CAFE);
+  bulk.next_bytes(std::span<std::uint8_t>());
+  std::vector<std::uint8_t> none;
+  bulk.next_bytes(none);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(bulk.next_byte(), serial.next_byte()) << "byte " << i;
+  }
+}
+
+TEST(GeffeBulk, JumpThenBulkConsistentAcrossPeriodBoundaries) {
+  // Jump distances straddling the degree-17 register's full period
+  // (2^17 - 1 = 131071 steps): register A wraps to its seed while B and C
+  // land mid-period. The bulk pull after the jump must equal the serial
+  // stream that walked there bit by bit.
+  const std::uint64_t period_a = (std::uint64_t{1} << 17) - 1;
+  for (const std::uint64_t n : {period_a - 3, period_a, period_a + 7}) {
+    crypto::GeffeKeystream jumped(0x1ACE, 0x2BEEF, 0x3CAFE);
+    jumped.jump(n);
+    std::array<std::uint8_t, 32> bulk{};
+    jumped.next_bytes(bulk);
+
+    crypto::GeffeKeystream walked(0x1ACE, 0x2BEEF, 0x3CAFE);
+    for (std::uint64_t i = 0; i < n; ++i) (void)walked.next_bit();
+    for (std::size_t i = 0; i < bulk.size(); ++i) {
+      ASSERT_EQ(bulk[i], walked.next_byte()) << "jump " << n << " byte " << i;
+    }
+  }
+}
+
+// ------------------------------------------------- framed-batch strictness
+
+TEST(FramedBatchStrictness, TruncatedFinalFrameThrowsEverywhere) {
+  // Dropping the final frame's last block must fail exactly like the
+  // one-block-at-a-time path did: core decrypt, every shard count, and the
+  // sealed adapter.
+  const core::BlockParams params = core::BlockParams::hardware();
+  util::Xoshiro256 rng(47);
+  const core::Key key = core::Key::random(rng, 4, params);
+  const auto msg = some_message(33);  // short final frame (264 = 16*16 + 8 bits)
+  auto ct = core::encrypt(msg, key, 0xACE1, params);
+  ct.resize(ct.size() - static_cast<std::size_t>(params.block_bytes()));
+  EXPECT_THROW((void)core::decrypt(ct, key, msg.size(), params), std::invalid_argument);
+  const core::LfsrCover proto(params.vector_bits, 0xACE1);
+  for (const int shards : {2, 4, 8}) {
+    EXPECT_THROW(
+        (void)core::decrypt_sharded(ct, key, msg.size(), shards, nullptr, params),
+        std::invalid_argument)
+        << "shards " << shards;
+  }
+  crypto::MhheaCipher sealed(key, 0xACE1, params, crypto::MhheaCipher::Framing::sealed);
+  auto framed = sealed.encrypt(msg);
+  framed.resize(framed.size() - static_cast<std::size_t>(params.block_bytes()));
+  EXPECT_THROW((void)sealed.decrypt(framed, msg.size()), std::invalid_argument);
+}
+
+TEST(FramedBatchStrictness, TrailingCiphertextThrowsEverywhere) {
+  const core::BlockParams params = core::BlockParams::hardware();
+  util::Xoshiro256 rng(48);
+  const core::Key key = core::Key::random(rng, 4, params);
+  const auto msg = some_message(32);  // exact frame multiple: no slack at all
+  auto ct = core::encrypt(msg, key, 0xACE1, params);
+  ct.insert(ct.end(), {0xAA, 0x55});  // one whole extra block
+  EXPECT_THROW((void)core::decrypt(ct, key, msg.size(), params), std::invalid_argument);
+  for (const int shards : {2, 4, 8}) {
+    EXPECT_THROW(
+        (void)core::decrypt_sharded(ct, key, msg.size(), shards, nullptr, params),
+        std::invalid_argument)
+        << "shards " << shards;
+  }
+  // The streaming core: the batched frame walk must still reject bytes fed
+  // after the message completed.
+  core::Decryptor dec(key, static_cast<std::uint64_t>(msg.size()) * 8, params);
+  const std::vector<std::uint8_t> good = core::encrypt(msg, key, 0xACE1, params);
+  dec.feed_bytes(good);
+  EXPECT_TRUE(dec.done());
+  const std::vector<std::uint8_t> extra = {0xAA, 0x55};
+  EXPECT_THROW(dec.feed_bytes(extra), std::invalid_argument);
+}
+
+TEST(FramedBatchStrictness, CoverExhaustionMidFrameLeavesConsistentState) {
+  // The frame-batched encryptor reads a whole frame's bits up front; if the
+  // cover runs dry mid-frame, the bits actually embedded must still be
+  // accounted (message_bits) and the caller's reader must sit exactly past
+  // them — same observable state as the block-at-a-time walk.
+  const core::BlockParams params = core::BlockParams::hardware();
+  const core::Key key = core::Key::parse("0-3,2-5", params);
+  core::Encryptor enc(key,
+                      std::make_unique<core::BufferCover>(
+                          std::vector<std::uint64_t>{0xBEEF, 0x1234, 0xC0DE, 0x5678, 0x9ABC}),
+                      params);
+  const auto msg = some_message(32);
+  util::BitReader reader(msg);
+  EXPECT_THROW(enc.feed_bits(reader, reader.size_bits()), std::runtime_error);
+  EXPECT_EQ(reader.position(), enc.message_bits());
+  // Everything the cover could carry decrypts back to the message prefix.
+  core::Decryptor dec(key, enc.message_bits(), params);
+  dec.feed_bytes(enc.cipher_bytes());
+  EXPECT_TRUE(dec.done());
+  const auto got = dec.message();
+  for (std::size_t i = 0; i < enc.message_bits(); ++i) {
+    ASSERT_EQ((got[i / 8] >> (i % 8)) & 1, (msg[i / 8] >> (i % 8)) & 1) << "bit " << i;
+  }
+}
+
+TEST(FramedBatchStrictness, MessageCacheFreshAfterTrailingThrow) {
+  // The batched frame walk throws on trailing blocks *after* extracting the
+  // preceding frames; a caller that catches must still see those frames in
+  // message(), not a stale snapshot cached before the second feed.
+  const core::BlockParams params = core::BlockParams::hardware();
+  util::Xoshiro256 rng(50);
+  const core::Key key = core::Key::random(rng, 4, params);
+  const auto msg = some_message(32);
+  const auto ct = core::encrypt(msg, key, 0xACE1, params);
+  const auto bb = static_cast<std::size_t>(params.block_bytes());
+  core::Decryptor dec(key, static_cast<std::uint64_t>(msg.size()) * 8, params);
+  dec.feed_bytes(std::span(ct.data(), 3 * bb));
+  (void)dec.message();  // cache a partial snapshot
+  std::vector<std::uint8_t> rest(ct.begin() + static_cast<std::ptrdiff_t>(3 * bb), ct.end());
+  rest.insert(rest.end(), {0xAA, 0x55});  // trailing block
+  EXPECT_THROW(dec.feed_bytes(rest), std::invalid_argument);
+  EXPECT_TRUE(dec.done());
+  auto got = dec.message();
+  got.resize(msg.size());
+  EXPECT_EQ(got, msg);
+}
+
+TEST(FramedBatchStrictness, MidFrameStreamingSplitsStayBitExact) {
+  // Regression guard for the frame-batched decryptor: feeding the same
+  // framed ciphertext in arbitrary block-aligned slices (including splits
+  // inside a frame) must recover the same message as one shot.
+  const core::BlockParams params = core::BlockParams::hardware();
+  util::Xoshiro256 rng(49);
+  const core::Key key = core::Key::random(rng, 3, params);
+  const auto msg = some_message(57);
+  const auto ct = core::encrypt(msg, key, 0xACE1, params);
+  const auto bb = static_cast<std::size_t>(params.block_bytes());
+  for (std::size_t first = 0; first <= ct.size(); first += 3 * bb) {
+    core::Decryptor dec(key, static_cast<std::uint64_t>(msg.size()) * 8, params);
+    dec.feed_bytes(std::span(ct.data(), first));
+    dec.feed_bytes(std::span(ct.data() + first, ct.size() - first));
+    ASSERT_TRUE(dec.done()) << "split " << first;
+    auto got = dec.message();
+    got.resize(msg.size());
+    ASSERT_EQ(got, msg) << "split " << first;
+  }
 }
 
 }  // namespace

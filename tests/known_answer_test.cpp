@@ -14,6 +14,7 @@
 #include "src/core/mhhea.hpp"
 #include "src/core/params.hpp"
 #include "src/crypto/hhea.hpp"
+#include "src/crypto/mhhea_cipher.hpp"
 #include "src/crypto/yaea.hpp"
 #include "src/util/hex.hpp"
 
@@ -89,6 +90,11 @@ std::vector<std::uint8_t> kat_encrypt(const KatFile& kat,
                                       const std::vector<std::uint8_t>& msg) {
   if (kat.algorithm == "hhea") return crypto::hhea_encrypt(msg, kat.key, kat.seed, kat.params);
   if (kat.algorithm == "yaea") return crypto::Yaea(kat.geffe).encrypt(msg);
+  if (kat.algorithm == "sealed") {
+    return crypto::MhheaCipher(kat.key, kat.seed, kat.params,
+                               crypto::MhheaCipher::Framing::sealed)
+        .encrypt(msg);
+  }
   return core::encrypt(msg, kat.key, kat.seed, kat.params);
 }
 
@@ -99,6 +105,11 @@ std::vector<std::uint8_t> kat_decrypt(const KatFile& kat,
     return crypto::hhea_decrypt(cipher, kat.key, msg_bytes, kat.params);
   }
   if (kat.algorithm == "yaea") return crypto::Yaea(kat.geffe).decrypt(cipher, msg_bytes);
+  if (kat.algorithm == "sealed") {
+    return crypto::MhheaCipher(kat.key, kat.seed, kat.params,
+                               crypto::MhheaCipher::Framing::sealed)
+        .decrypt(cipher, msg_bytes);
+  }
   return core::decrypt(cipher, kat.key, msg_bytes, kat.params);
 }
 
@@ -123,7 +134,8 @@ TEST_P(KnownAnswer, DecryptMatchesFixture) {
 
 INSTANTIATE_TEST_SUITE_P(Fixtures, KnownAnswer,
                          ::testing::Values("mhhea_paper.kat", "mhhea_hardware.kat",
-                                           "hhea_paper.kat", "yaea_s.kat"),
+                                           "mhhea_sealed.kat", "hhea_paper.kat",
+                                           "yaea_s.kat"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            std::string name = info.param;
                            for (char& ch : name) {
