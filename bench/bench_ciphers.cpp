@@ -1,14 +1,20 @@
-// Benchmark harness: sweep every registry cipher across message sizes and
-// thread counts, and emit BENCH_ciphers.json — the repo's reproduction of
-// the paper's Table 1 throughput comparison, plus the batch-scaling axis the
-// ROADMAP's "as fast as the hardware allows" goal needs a baseline for.
+// Benchmark harness: sweep every registry cipher across message sizes,
+// thread counts, both directions and both API forms, and emit
+// BENCH_ciphers.json — the repo's reproduction of the paper's Table 1
+// throughput comparison, plus the batch-scaling axis the ROADMAP's "as fast
+// as the hardware allows" goal needs a baseline for.
 //
-// Method: for each (cipher, msg_bytes, threads) cell, encrypt a batch of
+// Method: for each (cipher, msg_bytes, column) cell, process a batch of
 // independent messages (total plaintext ~ kTargetBatchBytes) repeatedly;
-// each repetition is one RunningStats sample of MB/s. The JSON records the
-// mean/max/stddev throughput, the measured expansion factor, and the
-// per-block latency. A decrypt round-trip of the first message guards
-// against benchmarking a broken configuration.
+// each repetition is one RunningStats sample of MB/s (plaintext MB/s for
+// both directions, so encrypt and decrypt rows are directly comparable).
+// Sequential columns measure four cells each — dir in {encrypt, decrypt} x
+// api in {alloc, into} — so the allocating-vs-in-place overhead and the
+// decrypt datapath are both visible; the thread and shard columns sweep
+// encrypt/alloc only. The JSON records mean/max/stddev throughput, the
+// measured expansion factor, and the per-block latency. A decrypt
+// round-trip of the first message guards against benchmarking a broken
+// configuration.
 //
 // Usage: bench_ciphers [--out FILE] [--quick] [--reps N] [--threads N]
 //                      [--shards N] [--seed S]
@@ -22,7 +28,10 @@
 //   --shards N   intra-message shard counts to sweep at threads=1: {2,4,8}
 //                clamped to N (default: hardware concurrency, so the shard
 //                sweep is empty on a single-core host; pass --shards
-//                explicitly to measure sharding overhead there)
+//                explicitly — note the adapters additionally clamp their
+//                worker pools to hardware concurrency, so on a 1-core host
+//                the shard columns measure the clamp itself: they run the
+//                sequential path and should match the shards=1 row)
 //   --seed S     registry key/nonce derivation seed (decimal or 0x hex), for
 //                reproducible runs
 #include <algorithm>
@@ -55,12 +64,22 @@ constexpr std::uint64_t kDefaultCipherSeed = 0xB0A710ADULL;  // registry key/non
 std::uint64_t g_cipher_seed = kDefaultCipherSeed;
 constexpr std::size_t kTargetBatchBytes = 1 << 20;  // ~1 MiB plaintext per batch
 
-/// One sweep column: how many batch workers and how many intra-message
-/// shards per cipher instance. The thread sweep runs at shards=1 and the
-/// shard sweep at threads=1, so each axis is measured in isolation.
+/// Which half of the cipher a cell times, and through which API form.
+enum class Dir { encrypt, decrypt };
+enum class Api { alloc, into };
+
+const char* dir_name(Dir d) { return d == Dir::encrypt ? "encrypt" : "decrypt"; }
+const char* api_name(Api a) { return a == Api::alloc ? "alloc" : "into"; }
+
+/// One sweep column: how many batch workers, how many intra-message shards
+/// per cipher instance, the direction and the API form. The thread sweep
+/// runs at shards=1 and the shard sweep at threads=1, so each axis is
+/// measured in isolation; dir/api variants run on the sequential column.
 struct SweepColumn {
   int threads = 1;
   int shards = 1;
+  Dir dir = Dir::encrypt;
+  Api api = Api::alloc;
 };
 
 struct CellResult {
@@ -68,6 +87,8 @@ struct CellResult {
   std::size_t msg_bytes = 0;
   int threads = 0;
   int shards = 1;
+  Dir dir = Dir::encrypt;
+  Api api = Api::alloc;
   std::size_t batch_size = 0;
   std::size_t reps = 0;
   double mb_per_s_mean = 0.0;
@@ -83,6 +104,8 @@ void cell_fill(CellResult& cell, const std::string& name, std::size_t msg_bytes,
   cell.msg_bytes = msg_bytes;
   cell.threads = col.threads;
   cell.shards = col.shards;
+  cell.dir = col.dir;
+  cell.api = col.api;
   cell.batch_size = batch_size;
   cell.reps = reps;
 }
@@ -118,13 +141,20 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
     return [&, shards] { return CipherRegistry::builtin().make(name, g_cipher_seed, shards); };
   };
 
-  // Correctness guard + warm-up: round-trip the first message once, and pin
-  // the sharded column to the sequential bytes before timing it.
+  // Correctness guard + warm-up: round-trip the first message once (through
+  // both API forms), and pin the sharded column to the sequential bytes
+  // before timing it.
   {
     auto cipher = maker_for(1)();
     const auto ct = cipher->encrypt(msgs[0]);
     if (cipher->decrypt(ct, msgs[0].size()) != msgs[0]) {
       throw std::runtime_error("bench: " + name + " failed its round-trip check");
+    }
+    std::vector<std::uint8_t> buf(cipher->max_ciphertext_size(msgs[0].size()));
+    const std::size_t n = cipher->encrypt_into(msgs[0], buf);
+    buf.resize(n);
+    if (buf != ct) {
+      throw std::runtime_error("bench: " + name + " encrypt_into diverged from encrypt");
     }
     if (max_shards > 1 && maker_for(max_shards)()->encrypt(msgs[0]) != ct) {
       throw std::runtime_error("bench: " + name + " sharded ciphertext diverged");
@@ -141,9 +171,32 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
   // Multi-thread columns go through encrypt_batch, which necessarily
   // constructs its per-worker ciphers inside the window for every column.
   std::vector<std::unique_ptr<mhhea::crypto::Cipher>> col_cipher(columns.size());
+  bool wants_decrypt = false;
+  bool wants_into = false;
   for (std::size_t t = 0; t < columns.size(); ++t) {
     cell_fill(cells[t], name, msg_bytes, columns[t], batch_size, reps);
     if (columns[t].threads == 1) col_cipher[t] = maker_for(columns[t].shards)();
+    wants_decrypt = wants_decrypt || columns[t].dir == Dir::decrypt;
+    wants_into = wants_into || columns[t].api == Api::into;
+  }
+  // Decrypt columns consume pre-encrypted ciphertexts; `_into` columns write
+  // into pre-sized reusable buffers (the arena discipline a zero-allocation
+  // caller would use) — both prepared outside every timed window.
+  std::vector<std::vector<std::uint8_t>> cts;
+  std::size_t ct_bytes_total = 0;
+  if (wants_decrypt) {
+    auto cipher = maker_for(1)();
+    cts.reserve(msgs.size());
+    for (const auto& m : msgs) {
+      cts.push_back(cipher->encrypt(m));
+      ct_bytes_total += cts.back().size();
+    }
+  }
+  std::vector<std::uint8_t> enc_buf;
+  std::vector<std::uint8_t> dec_buf;
+  if (wants_into) {
+    enc_buf.resize(maker_for(1)()->max_ciphertext_size(msg_bytes));
+    dec_buf.resize(msg_bytes);
   }
   const double plain_mb =
       static_cast<double>(msg_bytes) * static_cast<double>(batch_size) / 1.0e6;
@@ -152,21 +205,38 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
   const double block_bytes = name == "YAEA-S" ? 1.0 : 2.0;
   for (std::size_t r = 0; r < reps; ++r) {
     for (std::size_t t = 0; t < columns.size(); ++t) {
-      const auto maker = maker_for(columns[t].shards);
-      std::vector<std::vector<std::uint8_t>> cts;
+      const SweepColumn col = columns[t];
+      const auto maker = maker_for(col.shards);
+      mhhea::crypto::Cipher* cipher = col_cipher[t].get();
+      std::size_t cipher_bytes_total = 0;
       const auto t0 = Clock::now();
-      if (columns[t].threads == 1) {
-        // Same work as encrypt_batch at one thread, minus the construction.
-        cts.reserve(msgs.size());
-        for (const auto& m : msgs) cts.push_back(col_cipher[t]->encrypt(m));
+      if (col.dir == Dir::encrypt && col.api == Api::alloc) {
+        if (col.threads == 1) {
+          // Same work as encrypt_batch at one thread, minus the construction.
+          for (const auto& m : msgs) cipher_bytes_total += cipher->encrypt(m).size();
+        } else {
+          for (const auto& ct : mhhea::crypto::encrypt_batch(maker, msgs, col.threads)) {
+            cipher_bytes_total += ct.size();
+          }
+        }
+      } else if (col.dir == Dir::encrypt) {
+        // One reusable output buffer — the discipline a zero-allocation
+        // caller (network send buffer, arena slot) actually runs with.
+        for (const auto& m : msgs) cipher_bytes_total += cipher->encrypt_into(m, enc_buf);
+      } else if (col.api == Api::alloc) {
+        for (std::size_t i = 0; i < cts.size(); ++i) {
+          (void)cipher->decrypt(cts[i], msgs[i].size());
+        }
+        cipher_bytes_total = ct_bytes_total;
       } else {
-        cts = mhhea::crypto::encrypt_batch(maker, msgs, columns[t].threads);
+        for (std::size_t i = 0; i < cts.size(); ++i) {
+          (void)cipher->decrypt_into(cts[i], msgs[i].size(), dec_buf);
+        }
+        cipher_bytes_total = ct_bytes_total;
       }
       const auto t1 = Clock::now();
       const double secs = std::chrono::duration<double>(t1 - t0).count();
       mbps[t].add(plain_mb / secs);
-      std::size_t cipher_bytes_total = 0;
-      for (const auto& ct : cts) cipher_bytes_total += ct.size();
       nspb[t].add(secs * 1.0e9 * block_bytes / static_cast<double>(cipher_bytes_total));
       cells[t].expansion =
           static_cast<double>(cipher_bytes_total) /
@@ -223,7 +293,7 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   if (max_threads > 1) {
     std::map<std::string, std::array<double, 2>> sums;
     for (const auto& c : cells) {
-      if (c.shards != 1) continue;
+      if (c.shards != 1 || c.dir != Dir::encrypt || c.api != Api::alloc) continue;
       sums[c.cipher][c.threads == 1 ? 0 : 1] += c.mb_per_s_max;
     }
     bool first = true;
@@ -246,7 +316,9 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
     // cipher -> shards -> msg_bytes -> best-rep MB/s (threads=1 cells only)
     std::map<std::string, std::map<int, std::map<std::size_t, double>>> grid;
     for (const auto& c : cells) {
-      if (c.threads == 1) grid[c.cipher][c.shards][c.msg_bytes] = c.mb_per_s_max;
+      if (c.threads == 1 && c.dir == Dir::encrypt && c.api == Api::alloc) {
+        grid[c.cipher][c.shards][c.msg_bytes] = c.mb_per_s_max;
+      }
     }
     bool first = true;
     for (const auto& [name, by_shards] : grid) {
@@ -271,12 +343,50 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
     }
   }
   os << "},\n";
+  // Per-cipher decrypt throughput (sequential alloc column, mean across
+  // sizes): the decrypt counterpart of the headline encrypt rows.
+  os << "  \"decrypt_mb_per_s\": {";
+  {
+    std::map<std::string, std::array<double, 2>> sums;  // {total, count}
+    for (const auto& c : cells) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::decrypt && c.api == Api::alloc) {
+        sums[c.cipher][0] += c.mb_per_s_mean;
+        sums[c.cipher][1] += 1.0;
+      }
+    }
+    bool first = true;
+    for (const auto& [name, s] : sums) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": "
+         << (s[1] > 0.0 ? s[0] / s[1] : 0.0);
+      first = false;
+    }
+  }
+  os << "},\n";
+  // In-place over allocating encrypt throughput (sequential column, best-rep
+  // totals across sizes): what the span-based API buys over the vector one.
+  os << "  \"into_speedup\": {";
+  {
+    std::map<std::string, std::array<double, 2>> sums;  // {alloc, into}
+    for (const auto& c : cells) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt) {
+        sums[c.cipher][c.api == Api::alloc ? 0 : 1] += c.mb_per_s_max;
+      }
+    }
+    bool first = true;
+    for (const auto& [name, s] : sums) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": "
+         << (s[0] > 0.0 ? s[1] / s[0] : 0.0);
+      first = false;
+    }
+  }
+  os << "},\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];
     os << "    {\"cipher\": \"" << json_escape(c.cipher) << "\", \"msg_bytes\": "
        << c.msg_bytes << ", \"threads\": " << c.threads << ", \"shards\": " << c.shards
-       << ", \"batch_size\": "
+       << ", \"dir\": \"" << dir_name(c.dir) << "\", \"api\": \"" << api_name(c.api)
+       << "\", \"batch_size\": "
        << c.batch_size << ", \"reps\": " << c.reps << ", \"mb_per_s_mean\": "
        << c.mb_per_s_mean << ", \"mb_per_s_max\": " << c.mb_per_s_max
        << ", \"mb_per_s_stddev\": " << c.mb_per_s_stddev << ", \"expansion\": "
@@ -347,10 +457,15 @@ int main(int argc, char** argv) try {
   // --shards overrides it for deliberate overhead measurements.
   const int max_shards =
       shards_flag > 0 ? shards_flag : static_cast<int>(hw > 0 ? hw : 1);
-  std::vector<SweepColumn> columns = {{1, 1}};
-  if (max_threads > 1) columns.push_back({max_threads, 1});
+  // The sequential column measures all four dir x api cells; the thread and
+  // shard columns measure encrypt/alloc (the batch server shape).
+  std::vector<SweepColumn> columns = {{1, 1, Dir::encrypt, Api::alloc},
+                                      {1, 1, Dir::encrypt, Api::into},
+                                      {1, 1, Dir::decrypt, Api::alloc},
+                                      {1, 1, Dir::decrypt, Api::into}};
+  if (max_threads > 1) columns.push_back({max_threads, 1, Dir::encrypt, Api::alloc});
   for (int s : {2, 4, 8}) {
-    if (s <= max_shards) columns.push_back({1, s});
+    if (s <= max_shards) columns.push_back({1, s, Dir::encrypt, Api::alloc});
   }
   const std::vector<std::size_t> sizes = {64, 1024, 16384};
   const std::size_t reps = reps_flag > 0 ? reps_flag : (quick ? 2 : 9);
@@ -360,7 +475,8 @@ int main(int argc, char** argv) try {
     for (std::size_t msg_bytes : sizes) {
       for (auto& cell : run_cells(name, msg_bytes, columns, reps)) {
         std::cout << cell.cipher << " msg=" << cell.msg_bytes << "B threads="
-                  << cell.threads << " shards=" << cell.shards << " batch="
+                  << cell.threads << " shards=" << cell.shards << " "
+                  << dir_name(cell.dir) << "/" << api_name(cell.api) << " batch="
                   << cell.batch_size << ": "
                   << cell.mb_per_s_mean << " MB/s (max " << cell.mb_per_s_max
                   << ", sd " << cell.mb_per_s_stddev << "), expansion "

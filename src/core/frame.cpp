@@ -21,10 +21,11 @@ int log2_vector_scale(int vector_bits) {
 }
 }  // namespace
 
-std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
-                                       std::span<const std::uint8_t> cipher) {
+void frame_encode_header(const FrameHeader& header, std::span<std::uint8_t> out) {
   header.params.validate();
-  std::vector<std::uint8_t> out(FrameHeader::kSize + cipher.size());
+  if (out.size() < FrameHeader::kSize) {
+    throw std::length_error("frame: output buffer shorter than header");
+  }
   std::memcpy(out.data(), kMagic, 4);
   out[4] = kVersion;
   const std::uint8_t policy_bit = header.params.policy == FramePolicy::framed ? 1 : 0;
@@ -36,6 +37,12 @@ std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
     out[8 + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>((header.message_bits >> (8 * i)) & 0xFF);
   }
+}
+
+std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
+                                       std::span<const std::uint8_t> cipher) {
+  std::vector<std::uint8_t> out(FrameHeader::kSize + cipher.size());
+  frame_encode_header(header, out);
   if (!cipher.empty()) {
     std::memcpy(out.data() + FrameHeader::kSize, cipher.data(), cipher.size());
   }

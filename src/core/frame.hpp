@@ -38,6 +38,12 @@ struct FrameHeader {
 [[nodiscard]] std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
                                                      std::span<const std::uint8_t> cipher);
 
+/// Serialize just the 16-byte header into the front of `out` (which must be
+/// at least FrameHeader::kSize bytes — std::length_error otherwise). The
+/// allocation-free half of frame_encode: the `_into` sealed path writes the
+/// header here and streams blocks straight after it in the caller's buffer.
+void frame_encode_header(const FrameHeader& header, std::span<std::uint8_t> out);
+
 /// Parse and validate a framed buffer. Throws std::invalid_argument with a
 /// specific message on any malformation. On success, `payload` receives the
 /// ciphertext span (view into `framed`).

@@ -73,6 +73,23 @@ class Encryptor {
   void feed(std::span<const std::uint8_t> msg);
   /// Encrypt `n_bits` bits from `reader`.
   void feed_bits(util::BitReader& reader, std::size_t n_bits);
+  /// One-shot fast path: encrypt the whole of `msg` into the caller's buffer
+  /// and return the ciphertext bytes written. The message length is known up
+  /// front, so blocks are planned and emitted final-sized straight into
+  /// `out` — no re-openable tail bookkeeping, no replay, no internal
+  /// ciphertext storage — which is both the zero-allocation contract (the
+  /// only buffer touched is the resident cover prefetch chunk) and the
+  /// single-thread speedup over reset()+feed(). Byte-identical to
+  /// reset()+feed(msg) -> cipher_bytes() for both framing policies. Throws
+  /// std::length_error if `out` cannot hold the ciphertext (bytes already
+  /// written are unspecified). Implies reset(): afterwards the streaming
+  /// accessors see a fresh, empty stream.
+  std::size_t encrypt_into(std::span<const std::uint8_t> msg, std::span<std::uint8_t> out);
+  /// Exact ciphertext bytes a one-shot encryption of an `n_bits`-bit message
+  /// would produce. Costs a cover + scramble-width scan (roughly a third of
+  /// a full encryption — cheap enough to size a buffer, not free). Implies
+  /// reset(), like encrypt_into.
+  [[nodiscard]] std::uint64_t one_shot_cipher_bytes(std::uint64_t n_bits);
   /// Start a new message: drops all produced blocks (keeping their storage)
   /// and rewinds the cover source. Requires a resettable cover
   /// (std::logic_error otherwise — see CoverSource::reset).
@@ -170,6 +187,16 @@ class Decryptor {
   /// std::invalid_argument if blocks remain in `cipher` after the message is
   /// complete — a too-long ciphertext must not round-trip silently.
   void feed_bytes(std::span<const std::uint8_t> cipher);
+  /// One-shot fast path: decrypt the whole ciphertext of a `message_bits`-bit
+  /// message straight into the caller's buffer (zero-padded to whole bytes)
+  /// and return the bytes written, i.e. ceil(message_bits / 8). Same strict
+  /// contract as feed_bytes plus completeness: std::invalid_argument on
+  /// misaligned, truncated or trailing ciphertext; std::length_error if `out`
+  /// is too small (bytes already written are unspecified). Zero heap
+  /// allocations; implies reset(message_bits), so the streaming accessors see
+  /// a fresh core afterwards.
+  std::size_t decrypt_into(std::span<const std::uint8_t> cipher, std::uint64_t message_bits,
+                           std::span<std::uint8_t> out);
   /// Start over, expecting a `message_bits`-bit message.
   void reset(std::uint64_t message_bits);
 

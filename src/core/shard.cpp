@@ -5,6 +5,7 @@
 #include <cassert>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "src/core/block.hpp"
 #include "src/core/mhhea.hpp"
@@ -147,10 +148,13 @@ std::vector<ShardRange> plan_framed(const CoverSource& proto,
 /// Embed one shard: message bits [bit_begin, bit_begin + n_bits) into blocks
 /// serialized at out + block_begin * block_bytes. Returns blocks emitted —
 /// equal to max_blocks everywhere except the trailing continuous shard.
+/// `capacity_blocks` is the room the caller's buffer has past block_begin;
+/// exceeding it throws std::length_error (only the trailing continuous shard
+/// can emit an a-priori-unknown count, so only it pays the per-block check).
 std::uint64_t encrypt_range(const ShardRange& r, std::span<const std::uint8_t> msg,
                             const std::vector<detail::PairCtx>& pairs,
                             const CoverSource& proto, const BlockParams& params,
-                            std::uint8_t* out) {
+                            std::uint8_t* out, std::uint64_t capacity_blocks) {
   const auto cover = cover_at(proto, params, r.block_begin);
   util::BitReader reader(msg);
   reader.seek(static_cast<std::size_t>(r.bit_begin));
@@ -175,7 +179,11 @@ std::uint64_t encrypt_range(const ShardRange& r, std::span<const std::uint8_t> m
   if (framed) {
     // Frame-batched: shard boundaries are frame starts, so each pass plans
     // one whole frame — a single bulk read of its message bits, then the
-    // block run embedding word slices.
+    // block run embedding word slices. max_blocks is exact for framed
+    // shards, so the capacity check is one up-front comparison.
+    if (r.max_blocks > capacity_blocks) {
+      throw std::length_error("encrypt_sharded_into: output buffer too small");
+    }
     while (remaining > 0) {
       const int frame = params.frame_budget(remaining);
       const std::uint64_t word = reader.read_bits(frame);
@@ -201,6 +209,9 @@ std::uint64_t encrypt_range(const ShardRange& r, std::span<const std::uint8_t> m
   }
   while (remaining > 0) {
     if (pos == len) fetch();
+    if (emitted == capacity_blocks) {
+      throw std::length_error("encrypt_sharded_into: output buffer too small");
+    }
     const std::uint64_t v = buf[pos++];
     const detail::PairCtx& pc = pairs[pair_idx];
     if (++pair_idx == pairs.size()) pair_idx = 0;
@@ -283,6 +294,45 @@ ExtractResult extract_range(std::span<const std::uint8_t> cipher, const ShardRan
   return res;
 }
 
+/// Framed-policy worker for the `_into` decrypt path. Shard boundaries are
+/// frame starts — whole multiples of vector_bits message bits, hence
+/// byte-aligned — so the frame-batched extract streams straight into the
+/// caller's slice through a SpanBitWriter instead of a private buffer.
+/// Returns the bits extracted (== r.n_bits for a plan the framed walk
+/// validated).
+std::uint64_t extract_range_into(std::span<const std::uint8_t> cipher, const ShardRange& r,
+                                 const std::vector<detail::PairCtx>& pairs,
+                                 const BlockParams& params, std::span<std::uint8_t> slice) {
+  const int bb = params.block_bytes();
+  std::size_t pair_idx = static_cast<std::size_t>(r.block_begin % pairs.size());
+  util::SpanBitWriter sink(slice);
+  const std::uint8_t* src = cipher.data() + r.block_begin * static_cast<std::uint64_t>(bb);
+  std::uint64_t remaining = r.n_bits;
+  std::uint64_t bits = 0;
+  for (std::uint64_t b = 0; b < r.max_blocks;) {
+    const int frame = params.frame_budget(remaining);
+    if (frame == 0) break;  // blocks past the bit budget carry nothing
+    std::uint64_t word = 0;
+    int consumed = 0;
+    while (consumed < frame && b < r.max_blocks) {
+      const std::uint64_t v = util::load_le(src, bb);
+      src += bb;
+      ++b;
+      const detail::PairCtx& pc = pairs[pair_idx];
+      if (++pair_idx == pairs.size()) pair_idx = 0;
+      const ScrambledRange range = scramble_range(v, pc.pair, params);
+      const int w = std::min(range.width(), frame - consumed);
+      word |= extract_bits_with_pattern(v, range.kn1, pc.pattern, w) << consumed;
+      consumed += w;
+    }
+    sink.write_bits(word, consumed);
+    bits += static_cast<std::uint64_t>(consumed);
+    remaining -= static_cast<std::uint64_t>(consumed);
+  }
+  sink.flush();
+  return bits;
+}
+
 /// Framed-policy decrypt plan: the shared frame walk fed by scramble widths
 /// recomputed from the ciphertext blocks' unmodified high halves. Doubles as
 /// the strict truncated/trailing validation.
@@ -314,60 +364,64 @@ std::vector<ShardRange> plan_framed_decrypt(std::span<const std::uint8_t> cipher
   return ranges;
 }
 
-}  // namespace
+/// The shared front half of the sharded encrypt paths: the pair caches plus
+/// the per-policy shard plan.
+struct EncryptPlan {
+  std::vector<detail::PairCtx> pairs;
+  std::vector<ShardRange> ranges;
 
-std::vector<std::uint8_t> encrypt_sharded(std::span<const std::uint8_t> msg, const Key& key,
-                                          const CoverSource& cover, int n_shards,
-                                          util::ThreadPool* pool, BlockParams params) {
-  params.validate();
-  key.require_fits(params, "encrypt_sharded");
-  if (n_shards < 1) {
-    throw std::invalid_argument("encrypt_sharded: n_shards must be >= 1");
+  /// Upper bound on the ciphertext blocks the workers may emit (exact for
+  /// every shard but the trailing continuous one).
+  [[nodiscard]] std::uint64_t max_blocks() const {
+    return ranges.back().block_begin + ranges.back().max_blocks;
   }
-  if (msg.empty()) return {};
-  if (n_shards == 1) {
-    // The single-shard path IS the sequential core — zero overhead.
-    auto c = cover.clone();
-    c->reset();
-    Encryptor enc(key, std::move(c), params);
-    enc.feed(msg);
-    return enc.cipher_bytes();
-  }
+};
 
-  const std::vector<detail::PairCtx> pairs = detail::make_pair_ctx(key, params);
+EncryptPlan make_encrypt_plan(std::span<const std::uint8_t> msg, const Key& key,
+                              const CoverSource& cover, int n_shards,
+                              util::ThreadPool* pool, const BlockParams& params) {
+  EncryptPlan plan;
+  plan.pairs = detail::make_pair_ctx(key, params);
   const auto total_bits = static_cast<std::uint64_t>(msg.size()) * 8;
-  const std::vector<ShardRange> ranges =
+  plan.ranges =
       params.policy == FramePolicy::framed
-          ? plan_framed(cover, pairs, params, total_bits, static_cast<std::size_t>(n_shards))
-          : plan_continuous(cover, pairs, params, total_bits,
+          ? plan_framed(cover, plan.pairs, params, total_bits,
+                        static_cast<std::size_t>(n_shards))
+          : plan_continuous(cover, plan.pairs, params, total_bits,
                             static_cast<std::size_t>(n_shards), pool);
+  return plan;
+}
 
+/// Run the planned workers into `out` (each writes its disjoint slice;
+/// encrypt_range throws std::length_error when a slice would not fit).
+/// Returns the ciphertext bytes actually written.
+std::size_t run_encrypt_sharded(const EncryptPlan& plan, std::span<const std::uint8_t> msg,
+                                const CoverSource& cover, util::ThreadPool* pool,
+                                std::span<std::uint8_t> out, const BlockParams& params) {
   const auto bb = static_cast<std::uint64_t>(params.block_bytes());
-  std::vector<std::uint8_t> out(
-      static_cast<std::size_t>((ranges.back().block_begin + ranges.back().max_blocks) * bb));
+  const std::uint64_t out_blocks = static_cast<std::uint64_t>(out.size()) / bb;
+  const std::vector<ShardRange>& ranges = plan.ranges;
   std::vector<std::uint64_t> emitted(ranges.size(), 0);
   util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
-    emitted[s] = encrypt_range(ranges[s], msg, pairs, cover, params, out.data());
+    const std::uint64_t capacity =
+        out_blocks > ranges[s].block_begin ? out_blocks - ranges[s].block_begin : 0;
+    emitted[s] =
+        encrypt_range(ranges[s], msg, plan.pairs, cover, params, out.data(), capacity);
   });
   for (std::size_t s = 0; s + 1 < ranges.size(); ++s) {
     assert(emitted[s] == ranges[s].max_blocks);
     (void)s;
   }
-  out.resize(static_cast<std::size_t>((ranges.back().block_begin + emitted.back()) * bb));
-  return out;
+  return static_cast<std::size_t>((ranges.back().block_begin + emitted.back()) * bb);
 }
 
-std::vector<std::uint8_t> decrypt_sharded(std::span<const std::uint8_t> cipher,
-                                          const Key& key, std::size_t msg_bytes,
-                                          int n_shards, util::ThreadPool* pool,
-                                          BlockParams params) {
-  params.validate();
-  key.require_fits(params, "decrypt_sharded");
-  if (n_shards < 1) {
-    throw std::invalid_argument("decrypt_sharded: n_shards must be >= 1");
-  }
-  if (n_shards == 1) return decrypt(cipher, key, msg_bytes, params);
+using detail::validate_sharded;
 
+/// Shared decrypt driver: extract `cipher` into `out` (first msg_bytes
+/// bytes). See decrypt_sharded_into for the per-policy write strategy.
+void run_decrypt_sharded(std::span<const std::uint8_t> cipher, const Key& key,
+                         std::size_t msg_bytes, int n_shards, util::ThreadPool* pool,
+                         std::span<std::uint8_t> out, const BlockParams& params) {
   const auto bb = static_cast<std::size_t>(params.block_bytes());
   if (cipher.size() % bb != 0) {
     throw std::invalid_argument("decrypt_sharded: ciphertext not block-aligned");
@@ -379,25 +433,47 @@ std::vector<std::uint8_t> decrypt_sharded(std::span<const std::uint8_t> cipher,
       throw std::invalid_argument(
           "decrypt_sharded: trailing ciphertext blocks after message end");
     }
-    return {};
+    return;
   }
 
   const std::vector<detail::PairCtx> pairs = detail::make_pair_ctx(key, params);
-  std::vector<ShardRange> ranges;
   if (params.policy == FramePolicy::framed) {
-    ranges = plan_framed_decrypt(cipher, pairs, params, total_bits,
-                                 static_cast<std::size_t>(n_shards));
-  } else {
-    // No plan needed: widths are recomputed from the blocks themselves, so
-    // shards are an even block split and extraction starts immediately.
-    const std::uint64_t n_eff =
-        std::min<std::uint64_t>(static_cast<std::uint64_t>(n_shards), n_blocks);
-    for (std::uint64_t s = 0; s < n_eff; ++s) {
-      ShardRange r;
-      r.block_begin = n_blocks * s / n_eff;
-      r.max_blocks = n_blocks * (s + 1) / n_eff - r.block_begin;
-      ranges.push_back(r);
+    // The plan walk fixes every shard's bit range and block count (and
+    // doubles as the strict length validation), and frame-aligned shard
+    // starts are byte-aligned, so workers write disjoint slices of `out`
+    // directly — no private buffers, no splice.
+    const std::vector<ShardRange> ranges = plan_framed_decrypt(
+        cipher, pairs, params, total_bits, static_cast<std::size_t>(n_shards));
+    std::vector<std::uint64_t> bits(ranges.size(), 0);
+    util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+      const ShardRange& r = ranges[s];
+      assert(r.bit_begin % 8 == 0);
+      const std::size_t byte_begin = static_cast<std::size_t>(r.bit_begin / 8);
+      const std::size_t byte_len = static_cast<std::size_t>((r.n_bits + 7) / 8);
+      bits[s] = extract_range_into(cipher, r, pairs, params,
+                                   out.subspan(byte_begin, byte_len));
+    });
+    std::uint64_t total_sum = 0;
+    for (const std::uint64_t b : bits) total_sum += b;
+    if (total_sum < total_bits) {
+      throw std::invalid_argument(
+          "decrypt_sharded: ciphertext too short for message length");
     }
+    return;
+  }
+
+  // Continuous policy: no plan — widths are recomputed from the blocks
+  // themselves, so shards are an even block split whose bit offsets are only
+  // known after extraction. Workers therefore keep private bit buffers,
+  // spliced in order into the caller's storage.
+  std::vector<ShardRange> ranges;
+  const std::uint64_t n_eff =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(n_shards), n_blocks);
+  for (std::uint64_t s = 0; s < n_eff; ++s) {
+    ShardRange r;
+    r.block_begin = n_blocks * s / n_eff;
+    r.max_blocks = n_blocks * (s + 1) / n_eff - r.block_begin;
+    ranges.push_back(r);
   }
 
   std::vector<ExtractResult> results(ranges.size());
@@ -410,7 +486,7 @@ std::vector<std::uint8_t> decrypt_sharded(std::span<const std::uint8_t> cipher,
   if (total_sum < total_bits) {
     throw std::invalid_argument("decrypt_sharded: ciphertext too short for message length");
   }
-  if (params.policy != FramePolicy::framed && !results.empty() &&
+  if (!results.empty() &&
       total_sum - static_cast<std::uint64_t>(results.back().last_width) >= total_bits) {
     // Bits before the final block already complete the message, so that
     // block (at least) is trailing — mirror the sequential strictness.
@@ -418,18 +494,81 @@ std::vector<std::uint8_t> decrypt_sharded(std::span<const std::uint8_t> cipher,
         "decrypt_sharded: trailing ciphertext blocks after message end");
   }
 
-  util::BitWriter out;
-  out.reserve_bits(static_cast<std::size_t>(total_bits));
+  util::SpanBitWriter sink(out.first(msg_bytes));
   std::uint64_t written = 0;
   for (const ExtractResult& r : results) {
     const std::uint64_t take = std::min(r.bits, total_bits - written);
-    out.append_bits(r.bytes, static_cast<std::size_t>(take));
+    sink.append_bits(r.bytes, static_cast<std::size_t>(take));
     written += take;
     if (written == total_bits) break;
   }
-  std::vector<std::uint8_t> msg = out.take();
-  msg.resize(msg_bytes);
+  sink.flush();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encrypt_sharded(std::span<const std::uint8_t> msg, const Key& key,
+                                          const CoverSource& cover, int n_shards,
+                                          util::ThreadPool* pool, BlockParams params) {
+  validate_sharded(key, n_shards, params, "encrypt_sharded");
+  if (msg.empty()) return {};
+  if (n_shards == 1) {
+    // The single-shard path IS the sequential core — zero overhead.
+    auto c = cover.clone();
+    c->reset();
+    Encryptor enc(key, std::move(c), params);
+    enc.feed(msg);
+    return enc.cipher_bytes();
+  }
+  const EncryptPlan plan = make_encrypt_plan(msg, key, cover, n_shards, pool, params);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(
+      plan.max_blocks() * static_cast<std::uint64_t>(params.block_bytes())));
+  const std::size_t n = run_encrypt_sharded(plan, msg, cover, pool, out, params);
+  out.resize(n);
+  return out;
+}
+
+std::size_t encrypt_sharded_into(std::span<const std::uint8_t> msg, const Key& key,
+                                 const CoverSource& cover, int n_shards,
+                                 util::ThreadPool* pool, std::span<std::uint8_t> out,
+                                 BlockParams params) {
+  validate_sharded(key, n_shards, params, "encrypt_sharded_into");
+  if (msg.empty()) return 0;
+  if (n_shards == 1) {
+    auto c = cover.clone();
+    c->reset();
+    Encryptor enc(key, std::move(c), params);
+    return enc.encrypt_into(msg, out);
+  }
+  const EncryptPlan plan = make_encrypt_plan(msg, key, cover, n_shards, pool, params);
+  return run_encrypt_sharded(plan, msg, cover, pool, out, params);
+}
+
+std::vector<std::uint8_t> decrypt_sharded(std::span<const std::uint8_t> cipher,
+                                          const Key& key, std::size_t msg_bytes,
+                                          int n_shards, util::ThreadPool* pool,
+                                          BlockParams params) {
+  validate_sharded(key, n_shards, params, "decrypt_sharded");
+  if (n_shards == 1) return decrypt(cipher, key, msg_bytes, params);
+  std::vector<std::uint8_t> msg(msg_bytes);
+  run_decrypt_sharded(cipher, key, msg_bytes, n_shards, pool, msg, params);
   return msg;
+}
+
+std::size_t decrypt_sharded_into(std::span<const std::uint8_t> cipher, const Key& key,
+                                 std::size_t msg_bytes, int n_shards,
+                                 util::ThreadPool* pool, std::span<std::uint8_t> out,
+                                 BlockParams params) {
+  validate_sharded(key, n_shards, params, "decrypt_sharded_into");
+  if (out.size() < msg_bytes) {
+    throw std::length_error("decrypt_sharded_into: output buffer too small");
+  }
+  if (n_shards == 1) {
+    Decryptor dec(key, static_cast<std::uint64_t>(msg_bytes) * 8, params);
+    return dec.decrypt_into(cipher, static_cast<std::uint64_t>(msg_bytes) * 8, out);
+  }
+  run_decrypt_sharded(cipher, key, msg_bytes, n_shards, pool, out, params);
+  return msg_bytes;
 }
 
 }  // namespace mhhea::core

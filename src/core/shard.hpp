@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/core/cover.hpp"
@@ -42,6 +44,17 @@ namespace detail {
 /// Cover vectors / ciphertext blocks a shard worker pulls per refill
 /// (mirrors the sequential cores' bounded look-ahead).
 inline constexpr std::size_t kShardFetchChunk = 256;
+
+/// The shared precondition check of every sharded entry point (MHHEA and
+/// HHEA, both forms): valid params, key-vs-params fit, n_shards >= 1.
+inline void validate_sharded(const Key& key, int n_shards, const BlockParams& params,
+                             const char* who) {
+  params.validate();
+  key.require_fits(params, who);
+  if (n_shards < 1) {
+    throw std::invalid_argument(std::string(who) + ": n_shards must be >= 1");
+  }
+}
 
 /// A derived per-worker cover positioned at `block_begin` — the
 /// clone + reset + jump sequence every sharded path starts from.
@@ -132,11 +145,33 @@ std::vector<ShardRange> plan_framed_walk(const BlockParams& params,
     std::span<const std::uint8_t> msg, const Key& key, const CoverSource& cover,
     int n_shards, util::ThreadPool* pool, BlockParams params = BlockParams::paper());
 
+/// encrypt_sharded into caller storage: every worker writes its disjoint
+/// block-range slice of `out` directly — no per-worker buffers, no splice,
+/// no allocation for the ciphertext itself (the plan scratch remains).
+/// Returns the ciphertext bytes written; throws std::length_error when `out`
+/// cannot hold them (partial contents are then unspecified).
+std::size_t encrypt_sharded_into(std::span<const std::uint8_t> msg, const Key& key,
+                                 const CoverSource& cover, int n_shards,
+                                 util::ThreadPool* pool, std::span<std::uint8_t> out,
+                                 BlockParams params = BlockParams::paper());
+
 /// Sharded decryption, bit-identical to core::decrypt including its strict
 /// contract: throws std::invalid_argument on misaligned buffers, truncated
 /// ciphertext, and trailing blocks past the message end.
 [[nodiscard]] std::vector<std::uint8_t> decrypt_sharded(
     std::span<const std::uint8_t> cipher, const Key& key, std::size_t msg_bytes,
     int n_shards, util::ThreadPool* pool, BlockParams params = BlockParams::paper());
+
+/// decrypt_sharded into caller storage (same strict contract; additionally
+/// std::length_error when `out` is shorter than `msg_bytes`). Framed-policy
+/// shards start on frame boundaries — whole multiples of vector_bits bits,
+/// hence byte-aligned — so each worker writes its slice of `out` directly.
+/// Continuous-policy decryption has no plan (widths are recomputed from the
+/// blocks), so workers still extract into private bit buffers which are then
+/// spliced into `out`. Returns `msg_bytes`.
+std::size_t decrypt_sharded_into(std::span<const std::uint8_t> cipher, const Key& key,
+                                 std::size_t msg_bytes, int n_shards,
+                                 util::ThreadPool* pool, std::span<std::uint8_t> out,
+                                 BlockParams params = BlockParams::paper());
 
 }  // namespace mhhea::core

@@ -35,16 +35,55 @@ inline constexpr std::size_t kMinShardMsgBytes = 1024;
 /// and equivalence tests need. Implementations may keep reusable internal
 /// engine state across calls (resettable cores), so an instance must not be
 /// shared between threads — the batch API builds one cipher per worker.
+///
+/// The span-based `_into` calls are the primary datapath: message bytes in,
+/// ciphertext bytes out, no allocation between the caller's buffers (a
+/// warmed encrypt_into/decrypt_into loop is heap-allocation-free for every
+/// built-in cipher's single-shard path). The vector-returning encrypt() /
+/// decrypt() are thin wrappers kept for convenience. Buffer sizing:
+/// max_ciphertext_size() is a cheap upper bound good for arenas;
+/// ciphertext_size() is exact but may cost a planning pass (a cover +
+/// scramble-width scan for MHHEA — roughly a third of an encryption).
 class Cipher {
  public:
   virtual ~Cipher() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  /// Encrypt the whole message.
-  [[nodiscard]] virtual std::vector<std::uint8_t> encrypt(
-      std::span<const std::uint8_t> msg) = 0;
-  /// Decrypt `cipher` back to a message of `msg_bytes` bytes.
+  /// Encrypt the whole message into `out`, returning the ciphertext bytes
+  /// written. Throws std::length_error when `out` cannot hold the
+  /// ciphertext (already-written contents are then unspecified) — size the
+  /// buffer with ciphertext_size()/max_ciphertext_size().
+  virtual std::size_t encrypt_into(std::span<const std::uint8_t> msg,
+                                   std::span<std::uint8_t> out) = 0;
+  /// Decrypt `cipher` (the ciphertext of a `msg_bytes`-byte message) into
+  /// `out`, returning the `msg_bytes` bytes written. Std::length_error when
+  /// `out` is shorter than `msg_bytes`; std::invalid_argument on malformed
+  /// ciphertext, as with decrypt().
+  virtual std::size_t decrypt_into(std::span<const std::uint8_t> cipher,
+                                   std::size_t msg_bytes,
+                                   std::span<std::uint8_t> out) = 0;
+  /// Exact ciphertext bytes encrypt() would produce for an `msg_bytes`-byte
+  /// message. Closed-form for HHEA and YAEA-S; a cover-scan plan for MHHEA
+  /// (non-const so implementations may drive their reusable cores).
+  [[nodiscard]] virtual std::size_t ciphertext_size(std::size_t msg_bytes) = 0;
+  /// Cheap upper bound on ciphertext_size(msg_bytes), derived from the same
+  /// worst-case math as expansion() — what a caller sizes a reusable arena
+  /// with. Never smaller than ciphertext_size(msg_bytes).
+  [[nodiscard]] virtual std::size_t max_ciphertext_size(std::size_t msg_bytes) const = 0;
+  /// Encrypt the whole message. Default: exact-size buffer + encrypt_into.
+  [[nodiscard]] virtual std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> msg) {
+    std::vector<std::uint8_t> out(ciphertext_size(msg.size()));
+    const std::size_t n = encrypt_into(msg, out);
+    out.resize(n);
+    return out;
+  }
+  /// Decrypt `cipher` back to a message of `msg_bytes` bytes. Default: thin
+  /// wrapper over decrypt_into (the output size is always exact).
   [[nodiscard]] virtual std::vector<std::uint8_t> decrypt(
-      std::span<const std::uint8_t> cipher, std::size_t msg_bytes) = 0;
+      std::span<const std::uint8_t> cipher, std::size_t msg_bytes) {
+    std::vector<std::uint8_t> out(msg_bytes);
+    (void)decrypt_into(cipher, msg_bytes, out);
+    return out;
+  }
   /// Ciphertext bytes produced per message byte (expansion factor); 1 for
   /// conventional stream ciphers, >= 2 for the hiding ciphers.
   [[nodiscard]] virtual double expansion() const = 0;

@@ -45,6 +45,41 @@ void HheaEncryptor::feed(std::span<const std::uint8_t> msg) {
   }
 }
 
+std::size_t HheaEncryptor::encrypt_into(std::span<const std::uint8_t> msg,
+                                        std::span<std::uint8_t> out) {
+  reset();
+  util::BitReader reader(msg);
+  std::size_t remaining = reader.size_bits();
+  const bool framed = params_.policy == FramePolicy::framed;
+  const auto n_pairs = static_cast<std::size_t>(key_.size());
+  const int bb = params_.block_bytes();
+  std::uint8_t* dst = out.data();
+  std::size_t space = out.size();
+  std::size_t pair_idx = 0;
+  int frame_remaining = 0;
+  while (remaining > 0) {
+    if (framed && frame_remaining == 0) frame_remaining = params_.frame_budget(remaining);
+    if (space < static_cast<std::size_t>(bb)) {
+      throw std::length_error("HheaEncryptor::encrypt_into: output buffer too small");
+    }
+    const std::uint64_t v = cover_->next_block(params_.vector_bits);
+    const core::KeyPair& pair = key_.pair(static_cast<int>(pair_idx));
+    if (++pair_idx == n_pairs) pair_idx = 0;
+    const std::size_t cap = framed ? static_cast<std::size_t>(frame_remaining) : remaining;
+    const int n = pair.span() + 1;
+    const int w = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(n), cap));
+    util::store_le(dst, util::deposit(v, pair.lo() + w - 1, pair.lo(), reader.read_bits(w)),
+                   bb);
+    dst += bb;
+    space -= static_cast<std::size_t>(bb);
+    remaining -= static_cast<std::size_t>(w);
+    if (framed) frame_remaining -= w;
+  }
+  // Rewind the cover so the core sits in the full reset state again.
+  cover_->reset();
+  return static_cast<std::size_t>(dst - out.data());
+}
+
 void HheaEncryptor::reset() {
   cover_->reset();
   blocks_.clear();
@@ -102,6 +137,55 @@ void HheaDecryptor::feed_bytes(std::span<const std::uint8_t> cipher) {
     }
     feed_block(util::load_le(cipher.data() + i, static_cast<int>(bb)));
   }
+}
+
+std::size_t HheaDecryptor::decrypt_into(std::span<const std::uint8_t> cipher,
+                                        std::uint64_t message_bits,
+                                        std::span<std::uint8_t> out) {
+  reset(message_bits);
+  const auto bb = static_cast<std::size_t>(params_.block_bytes());
+  if (cipher.size() % bb != 0) {
+    throw std::invalid_argument("HheaDecryptor::decrypt_into: ciphertext not block-aligned");
+  }
+  const auto out_bytes = static_cast<std::size_t>((message_bits + 7) / 8);
+  if (out.size() < out_bytes) {
+    throw std::length_error("HheaDecryptor::decrypt_into: output buffer too small");
+  }
+  util::SpanBitWriter sink(out.first(out_bytes));
+  const bool framed = params_.policy == FramePolicy::framed;
+  const auto n_pairs = static_cast<std::size_t>(key_.size());
+  std::uint64_t recovered = 0;
+  std::size_t pair_idx = 0;
+  int frame_remaining = 0;
+  const std::uint8_t* src = cipher.data();
+  const std::uint8_t* const end = src + cipher.size();
+  while (src != end) {
+    if (recovered == message_bits) {
+      throw std::invalid_argument(
+          "HheaDecryptor::decrypt_into: trailing ciphertext blocks after message end");
+    }
+    if (framed && frame_remaining == 0) {
+      frame_remaining = params_.frame_budget(message_bits - recovered);
+    }
+    const std::uint64_t v = util::load_le(src, static_cast<int>(bb));
+    src += bb;
+    const core::KeyPair& pair = key_.pair(static_cast<int>(pair_idx));
+    if (++pair_idx == n_pairs) pair_idx = 0;
+    const std::uint64_t cap = framed ? static_cast<std::uint64_t>(frame_remaining)
+                                     : message_bits - recovered;
+    const int n = pair.span() + 1;
+    const int w =
+        static_cast<int>(std::min<std::uint64_t>(static_cast<std::uint64_t>(n), cap));
+    sink.write_bits(v >> pair.lo(), w);
+    recovered += static_cast<std::uint64_t>(w);
+    if (framed) frame_remaining -= w;
+  }
+  if (recovered < message_bits) {
+    throw std::invalid_argument(
+        "HheaDecryptor::decrypt_into: ciphertext too short for message length");
+  }
+  sink.flush();
+  return out_bytes;
 }
 
 void HheaDecryptor::reset(std::uint64_t message_bits) {
@@ -268,48 +352,50 @@ std::vector<std::uint8_t> extract_range(std::span<const std::uint8_t> cipher,
   return out.take();
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> hhea_encrypt_sharded(std::span<const std::uint8_t> msg,
-                                               const core::Key& key,
-                                               const core::CoverSource& cover, int n_shards,
-                                               util::ThreadPool* pool, BlockParams params) {
-  params.validate();
-  key.require_fits(params, "hhea_encrypt_sharded");
-  if (n_shards < 1) {
-    throw std::invalid_argument("hhea_encrypt_sharded: n_shards must be >= 1");
+/// Extract one shard straight into the caller's byte slice (framed policy
+/// only: shard boundaries are frame starts, hence byte-aligned).
+void extract_range_into(std::span<const std::uint8_t> cipher, const ShardRange& r,
+                        const core::Key& key, const BlockParams& params,
+                        std::span<std::uint8_t> slice) {
+  const int bb = params.block_bytes();
+  const auto L = static_cast<std::size_t>(key.size());
+  std::size_t pair_idx = static_cast<std::size_t>(r.block_begin % L);
+  util::SpanBitWriter out(slice);
+  std::uint64_t remaining = r.n_bits;
+  int frame_remaining = 0;
+  const std::uint8_t* src = cipher.data() + r.block_begin * static_cast<std::uint64_t>(bb);
+  for (std::uint64_t b = 0; b < r.max_blocks; ++b, src += bb) {
+    if (frame_remaining == 0) frame_remaining = params.frame_budget(remaining);
+    const std::uint64_t v = util::load_le(src, bb);
+    const core::KeyPair& pair = key.pair(static_cast<int>(pair_idx));
+    if (++pair_idx == L) pair_idx = 0;
+    const int n = pair.span() + 1;
+    const int w = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(std::min(n, frame_remaining)), remaining));
+    out.write_bits(v >> pair.lo(), w);
+    remaining -= static_cast<std::uint64_t>(w);
+    frame_remaining -= w;
   }
-  if (msg.empty()) return {};
-  if (n_shards == 1) {
-    auto c = cover.clone();
-    c->reset();
-    HheaEncryptor enc(key, std::move(c), params);
-    enc.feed(msg);
-    return enc.cipher_bytes();
-  }
-  const WidthCycle wc(key);
-  const auto total_bits = static_cast<std::uint64_t>(msg.size()) * 8;
-  std::uint64_t total_blocks = 0;
-  const std::vector<ShardRange> ranges =
-      plan_shards(wc, params, total_bits, static_cast<std::size_t>(n_shards), &total_blocks);
-  std::vector<std::uint8_t> out(
-      static_cast<std::size_t>(total_blocks) * static_cast<std::size_t>(params.block_bytes()));
-  util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
-    encrypt_range(ranges[s], msg, key, cover, params, out.data());
-  });
-  return out;
+  out.flush();
 }
 
-std::vector<std::uint8_t> hhea_decrypt_sharded(std::span<const std::uint8_t> cipher,
-                                               const core::Key& key, std::size_t msg_bytes,
-                                               int n_shards, util::ThreadPool* pool,
-                                               BlockParams params) {
-  params.validate();
-  key.require_fits(params, "hhea_decrypt_sharded");
-  if (n_shards < 1) {
-    throw std::invalid_argument("hhea_decrypt_sharded: n_shards must be >= 1");
-  }
-  if (n_shards == 1) return hhea_decrypt(cipher, key, msg_bytes, params);
+/// Run the planned embed workers into `out` (presized by the caller to the
+/// plan's total_blocks). Shared by the allocating and `_into` encrypt forms
+/// so each plans exactly once.
+void run_hhea_encrypt_ranges(const std::vector<ShardRange>& ranges,
+                             std::span<const std::uint8_t> msg, const core::Key& key,
+                             const core::CoverSource& cover, util::ThreadPool* pool,
+                             const BlockParams& params, std::uint8_t* out) {
+  util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+    encrypt_range(ranges[s], msg, key, cover, params, out);
+  });
+}
+
+/// Shared body of the sharded decrypt forms: plan, strict length validation,
+/// and extraction into the first msg_bytes bytes of `out`.
+void run_hhea_decrypt_sharded(std::span<const std::uint8_t> cipher, const core::Key& key,
+                              std::size_t msg_bytes, int n_shards, util::ThreadPool* pool,
+                              std::span<std::uint8_t> out, const BlockParams& params) {
   const auto bb = static_cast<std::size_t>(params.block_bytes());
   if (cipher.size() % bb != 0) {
     throw std::invalid_argument("hhea_decrypt_sharded: ciphertext not block-aligned");
@@ -329,18 +415,133 @@ std::vector<std::uint8_t> hhea_decrypt_sharded(std::span<const std::uint8_t> cip
     throw std::invalid_argument(
         "hhea_decrypt_sharded: trailing ciphertext blocks after message end");
   }
+  if (params.policy == FramePolicy::framed) {
+    // Frame-aligned shard starts are byte-aligned: write slices directly.
+    util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+      const ShardRange& r = ranges[s];
+      const std::size_t byte_begin = static_cast<std::size_t>(r.bit_begin / 8);
+      const std::size_t byte_len = static_cast<std::size_t>((r.n_bits + 7) / 8);
+      extract_range_into(cipher, r, key, params, out.subspan(byte_begin, byte_len));
+    });
+    return;
+  }
+  // Continuous shard boundaries fall on arbitrary bit offsets (the key's
+  // width cycle owes bytes nothing), so workers keep private bit buffers
+  // spliced in order into the caller's storage.
   std::vector<std::vector<std::uint8_t>> parts(ranges.size());
   util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
     parts[s] = extract_range(cipher, ranges[s], key, params);
   });
-  util::BitWriter out;
-  out.reserve_bits(static_cast<std::size_t>(total_bits));
+  util::SpanBitWriter sink(out.first(msg_bytes));
   for (std::size_t s = 0; s < ranges.size(); ++s) {
-    out.append_bits(parts[s], static_cast<std::size_t>(ranges[s].n_bits));
+    sink.append_bits(parts[s], static_cast<std::size_t>(ranges[s].n_bits));
   }
-  std::vector<std::uint8_t> msg = out.take();
-  msg.resize(msg_bytes);
+  sink.flush();
+}
+
+}  // namespace
+
+std::uint64_t hhea_cipher_bytes(const core::Key& key, std::uint64_t msg_bits,
+                                BlockParams params) {
+  params.validate();
+  key.require_fits(params, "hhea_cipher_bytes");
+  if (msg_bits == 0) return 0;
+  const WidthCycle wc(key);
+  const auto bb = static_cast<std::uint64_t>(params.block_bytes());
+  if (params.policy != FramePolicy::framed) return wc.blocks_for_bits(msg_bits) * bb;
+  // Framed: one cover-free frame walk over the width cycle (frame budgets
+  // feed back into per-block widths, so there is no closed form).
+  std::uint64_t blocks = 0;
+  std::uint64_t remaining = msg_bits;
+  std::size_t pair_idx = 0;
+  int frame_remaining = 0;
+  while (remaining > 0) {
+    if (frame_remaining == 0) frame_remaining = params.frame_budget(remaining);
+    const auto n = static_cast<int>(wc.prefix[pair_idx + 1] - wc.prefix[pair_idx]);
+    if (++pair_idx == wc.L) pair_idx = 0;
+    const int w = std::min(n, frame_remaining);
+    ++blocks;
+    remaining -= static_cast<std::uint64_t>(w);
+    frame_remaining -= w;
+  }
+  return blocks * bb;
+}
+
+std::vector<std::uint8_t> hhea_encrypt_sharded(std::span<const std::uint8_t> msg,
+                                               const core::Key& key,
+                                               const core::CoverSource& cover, int n_shards,
+                                               util::ThreadPool* pool, BlockParams params) {
+  core::detail::validate_sharded(key, n_shards, params, "hhea_encrypt_sharded");
+  if (msg.empty()) return {};
+  if (n_shards == 1) {
+    auto c = cover.clone();
+    c->reset();
+    HheaEncryptor enc(key, std::move(c), params);
+    enc.feed(msg);
+    return enc.cipher_bytes();
+  }
+  const WidthCycle wc(key);
+  const auto total_bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  std::uint64_t total_blocks = 0;
+  const std::vector<ShardRange> ranges =
+      plan_shards(wc, params, total_bits, static_cast<std::size_t>(n_shards), &total_blocks);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(total_blocks) *
+                                static_cast<std::size_t>(params.block_bytes()));
+  run_hhea_encrypt_ranges(ranges, msg, key, cover, pool, params, out.data());
+  return out;
+}
+
+std::size_t hhea_encrypt_sharded_into(std::span<const std::uint8_t> msg,
+                                      const core::Key& key, const core::CoverSource& cover,
+                                      int n_shards, util::ThreadPool* pool,
+                                      std::span<std::uint8_t> out, BlockParams params) {
+  core::detail::validate_sharded(key, n_shards, params, "hhea_encrypt_sharded_into");
+  if (msg.empty()) return 0;
+  if (n_shards == 1) {
+    auto c = cover.clone();
+    c->reset();
+    HheaEncryptor enc(key, std::move(c), params);
+    return enc.encrypt_into(msg, out);
+  }
+  const WidthCycle wc(key);
+  const auto total_bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  std::uint64_t total_blocks = 0;
+  const std::vector<ShardRange> ranges =
+      plan_shards(wc, params, total_bits, static_cast<std::size_t>(n_shards), &total_blocks);
+  const std::size_t need = static_cast<std::size_t>(total_blocks) *
+                           static_cast<std::size_t>(params.block_bytes());
+  if (out.size() < need) {
+    throw std::length_error("hhea_encrypt_sharded_into: output buffer too small");
+  }
+  run_hhea_encrypt_ranges(ranges, msg, key, cover, pool, params, out.data());
+  return need;
+}
+
+std::vector<std::uint8_t> hhea_decrypt_sharded(std::span<const std::uint8_t> cipher,
+                                               const core::Key& key, std::size_t msg_bytes,
+                                               int n_shards, util::ThreadPool* pool,
+                                               BlockParams params) {
+  core::detail::validate_sharded(key, n_shards, params, "hhea_decrypt_sharded");
+  if (n_shards == 1) return hhea_decrypt(cipher, key, msg_bytes, params);
+  std::vector<std::uint8_t> msg(msg_bytes);
+  run_hhea_decrypt_sharded(cipher, key, msg_bytes, n_shards, pool, msg, params);
   return msg;
+}
+
+std::size_t hhea_decrypt_sharded_into(std::span<const std::uint8_t> cipher,
+                                      const core::Key& key, std::size_t msg_bytes,
+                                      int n_shards, util::ThreadPool* pool,
+                                      std::span<std::uint8_t> out, BlockParams params) {
+  core::detail::validate_sharded(key, n_shards, params, "hhea_decrypt_sharded_into");
+  if (out.size() < msg_bytes) {
+    throw std::length_error("hhea_decrypt_sharded_into: output buffer too small");
+  }
+  if (n_shards == 1) {
+    HheaDecryptor dec(key, static_cast<std::uint64_t>(msg_bytes) * 8, params);
+    return dec.decrypt_into(cipher, static_cast<std::uint64_t>(msg_bytes) * 8, out);
+  }
+  run_hhea_decrypt_sharded(cipher, key, msg_bytes, n_shards, pool, out, params);
+  return msg_bytes;
 }
 
 std::vector<std::uint8_t> hhea_encrypt(std::span<const std::uint8_t> msg,

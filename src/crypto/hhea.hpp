@@ -34,6 +34,12 @@ class HheaEncryptor {
                 core::BlockParams params = core::BlockParams::paper());
 
   void feed(std::span<const std::uint8_t> msg);
+  /// One-shot fast path: encrypt the whole of `msg` straight into the
+  /// caller's buffer (no internal block storage, zero heap allocations) and
+  /// return the ciphertext bytes written. Byte-identical to
+  /// reset()+feed(msg) -> cipher_bytes(). Throws std::length_error when
+  /// `out` is too small (partial contents unspecified). Implies reset().
+  std::size_t encrypt_into(std::span<const std::uint8_t> msg, std::span<std::uint8_t> out);
   /// Start a new message; requires a resettable cover source.
   void reset();
   [[nodiscard]] std::uint64_t message_bits() const noexcept { return msg_bits_; }
@@ -61,6 +67,14 @@ class HheaDecryptor {
   /// Consume serialized blocks; throws std::invalid_argument on unconsumed
   /// trailing blocks once the message is complete.
   void feed_bytes(std::span<const std::uint8_t> cipher);
+  /// One-shot fast path: decrypt the whole ciphertext of a
+  /// `message_bits`-bit message into the caller's buffer (zero-padded to
+  /// whole bytes, ceil(message_bits/8) bytes written — the return value).
+  /// Strict like feed_bytes plus completeness: std::invalid_argument on
+  /// misaligned, truncated or trailing ciphertext; std::length_error when
+  /// `out` is too small. Zero heap allocations; implies reset(message_bits).
+  std::size_t decrypt_into(std::span<const std::uint8_t> cipher, std::uint64_t message_bits,
+                           std::span<std::uint8_t> out);
   /// Start over, expecting a `message_bits`-bit message.
   void reset(std::uint64_t message_bits);
   [[nodiscard]] bool done() const noexcept { return recovered_ == total_bits_; }
@@ -76,6 +90,14 @@ class HheaDecryptor {
   int frame_remaining_ = 0;
   util::BitWriter out_;
 };
+
+/// Exact ciphertext bytes for an `msg_bits`-bit message: HHEA block widths
+/// are fixed by the key alone (span+1 per pair, frame/message caps aside),
+/// so the size query is closed-form arithmetic over the key's width cycle
+/// for the continuous policy and one cover-free frame walk for the framed
+/// policy — never a cover scan.
+[[nodiscard]] std::uint64_t hhea_cipher_bytes(const core::Key& key, std::uint64_t msg_bits,
+                                              core::BlockParams params = core::BlockParams::paper());
 
 /// One-shot helpers with an LFSR cover (seed = nonce), like core::encrypt.
 [[nodiscard]] std::vector<std::uint8_t> hhea_encrypt(
@@ -107,6 +129,25 @@ class HheaDecryptor {
 [[nodiscard]] std::vector<std::uint8_t> hhea_decrypt_sharded(
     std::span<const std::uint8_t> cipher, const core::Key& key, std::size_t msg_bytes,
     int n_shards, util::ThreadPool* pool,
+    core::BlockParams params = core::BlockParams::paper());
+
+/// hhea_encrypt_sharded into caller storage: the block count is known
+/// exactly up front (hhea_cipher_bytes), the buffer is checked once, and
+/// every worker writes its disjoint slice of `out` directly. Returns the
+/// ciphertext bytes written; std::length_error when `out` is too small.
+std::size_t hhea_encrypt_sharded_into(
+    std::span<const std::uint8_t> msg, const core::Key& key,
+    const core::CoverSource& cover, int n_shards, util::ThreadPool* pool,
+    std::span<std::uint8_t> out, core::BlockParams params = core::BlockParams::paper());
+
+/// hhea_decrypt_sharded into caller storage (std::length_error when `out` is
+/// shorter than `msg_bytes`). Framed shards start byte-aligned and write
+/// their slices directly; continuous shard boundaries fall on arbitrary bit
+/// offsets, so those workers keep private bit buffers spliced into `out`.
+/// Returns `msg_bytes`.
+std::size_t hhea_decrypt_sharded_into(
+    std::span<const std::uint8_t> cipher, const core::Key& key, std::size_t msg_bytes,
+    int n_shards, util::ThreadPool* pool, std::span<std::uint8_t> out,
     core::BlockParams params = core::BlockParams::paper());
 
 }  // namespace mhhea::crypto

@@ -1,5 +1,6 @@
 #include "src/crypto/hhea_cipher.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -19,41 +20,40 @@ HheaCipher::HheaCipher(core::Key key, std::uint64_t seed, core::BlockParams para
   for (const auto& p : key_.pairs()) mean_bits += static_cast<double>(p.span() + 1);
   mean_bits /= static_cast<double>(key_.size());
   expansion_ = static_cast<double>(params_.vector_bits) / mean_bits;
-  if (shards_ > 1) {
+  // Pool clamped to hardware concurrency; a single resolved worker means no
+  // pool at all and the sequential cores run inline (see MhheaCipher).
+  const int workers = std::min(shards_, util::resolve_parallelism(0, "HheaCipher"));
+  if (shards_ > 1 && workers > 1) {
     cover_proto_ = core::make_lfsr_cover(params_.vector_bits, seed_);
     // Warm the LFSR's lazily built leap tables and jump matrix once, so
     // every shard worker's clone shares them instead of rebuilding per call.
     (void)cover_proto_->next_block(params_.vector_bits);
     cover_proto_->skip_blocks(params_.vector_bits, 1);
     cover_proto_->reset();
-    pool_ = std::make_unique<util::ThreadPool>(shards_);
+    pool_ = std::make_unique<util::ThreadPool>(workers);
   }
 }
 
-std::vector<std::uint8_t> HheaCipher::encrypt(std::span<const std::uint8_t> msg) {
-  const int eff = effective_shards(shards_, msg.size());
+std::size_t HheaCipher::encrypt_into(std::span<const std::uint8_t> msg,
+                                     std::span<std::uint8_t> out) {
+  const int workers = pool_ ? pool_->size() : 1;
+  const int eff = std::min(effective_shards(shards_, msg.size()), workers);
   if (eff > 1) {
-    return hhea_encrypt_sharded(msg, key_, *cover_proto_, eff, pool_.get(), params_);
+    return hhea_encrypt_sharded_into(msg, key_, *cover_proto_, eff, pool_.get(), out,
+                                     params_);
   }
-  enc_.reset();
-  enc_.feed(msg);
-  return enc_.cipher_bytes();
+  return enc_.encrypt_into(msg, out);
 }
 
-std::vector<std::uint8_t> HheaCipher::decrypt(std::span<const std::uint8_t> cipher,
-                                              std::size_t msg_bytes) {
-  const int eff = effective_shards(shards_, msg_bytes);
+std::size_t HheaCipher::decrypt_into(std::span<const std::uint8_t> cipher,
+                                     std::size_t msg_bytes, std::span<std::uint8_t> out) {
+  const int workers = pool_ ? pool_->size() : 1;
+  const int eff = std::min(effective_shards(shards_, msg_bytes), workers);
   if (eff > 1) {
-    return hhea_decrypt_sharded(cipher, key_, msg_bytes, eff, pool_.get(), params_);
+    return hhea_decrypt_sharded_into(cipher, key_, msg_bytes, eff, pool_.get(), out,
+                                     params_);
   }
-  dec_.reset(static_cast<std::uint64_t>(msg_bytes) * 8);
-  dec_.feed_bytes(cipher);
-  if (!dec_.done()) {
-    throw std::invalid_argument("HheaCipher: ciphertext too short for message length");
-  }
-  auto msg = dec_.message();
-  msg.resize(msg_bytes);
-  return msg;
+  return dec_.decrypt_into(cipher, static_cast<std::uint64_t>(msg_bytes) * 8, out);
 }
 
 }  // namespace mhhea::crypto

@@ -29,10 +29,26 @@ class HheaCipher final : public Cipher {
              core::BlockParams params = core::BlockParams::paper(), int shards = 1);
 
   [[nodiscard]] std::string name() const override { return "HHEA"; }
-  [[nodiscard]] std::vector<std::uint8_t> encrypt(
-      std::span<const std::uint8_t> msg) override;
-  [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
-                                                  std::size_t msg_bytes) override;
+  /// Straight into the caller's buffer (single-shard path is allocation-free
+  /// when warmed); the allocating encrypt()/decrypt() are the base-class
+  /// thin wrappers over these.
+  std::size_t encrypt_into(std::span<const std::uint8_t> msg,
+                           std::span<std::uint8_t> out) override;
+  std::size_t decrypt_into(std::span<const std::uint8_t> cipher, std::size_t msg_bytes,
+                           std::span<std::uint8_t> out) override;
+  /// Exact and cover-free: HHEA block widths are fixed by the key alone
+  /// (hhea_cipher_bytes), so the exact size doubles as the upper bound.
+  /// Each call rebuilds the key's width cycle (one small allocation; plus
+  /// an O(blocks) arithmetic walk under framed params) — noise next to the
+  /// cipher work, but cache the result if sizing in a tight loop.
+  [[nodiscard]] std::size_t ciphertext_size(std::size_t msg_bytes) override {
+    return static_cast<std::size_t>(
+        hhea_cipher_bytes(key_, static_cast<std::uint64_t>(msg_bytes) * 8, params_));
+  }
+  [[nodiscard]] std::size_t max_ciphertext_size(std::size_t msg_bytes) const override {
+    return static_cast<std::size_t>(
+        hhea_cipher_bytes(key_, static_cast<std::uint64_t>(msg_bytes) * 8, params_));
+  }
   /// HHEA embeds exactly span+1 bits per block, so the expansion is the
   /// closed form vector_bits / mean(span_i + 1) — no scramble averaging.
   [[nodiscard]] double expansion() const override { return expansion_; }

@@ -1,5 +1,6 @@
 #include "src/crypto/mhhea_cipher.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,25 @@
 #include "src/core/shard.hpp"
 
 namespace mhhea::crypto {
+
+namespace {
+
+/// Worst-case uncapped embed width of a pair: the scrambled range is d+1
+/// wide without a wrap and H-d+1 wide with one (block.hpp), so every block
+/// of this pair carries at least the smaller of the two when no frame or
+/// message-end cap applies.
+std::uint64_t min_pair_width(const core::KeyPair& pair, const core::BlockParams& params) {
+  const int d = pair.span();
+  return static_cast<std::uint64_t>(std::min(d + 1, params.half() - d + 1));
+}
+
+std::uint64_t cycle_min_bits(const core::Key& key, const core::BlockParams& params) {
+  std::uint64_t sum = 0;
+  for (const core::KeyPair& p : key.pairs()) sum += min_pair_width(p, params);
+  return sum;
+}
+
+}  // namespace
 
 MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params,
                          Framing framing, int shards)
@@ -20,44 +40,54 @@ MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams pa
       // Core construction validates params, seed and key-vs-params eagerly.
       enc_(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_),
       dec_(key_, 0, params_),
-      expansion_(core::expected_expansion(key_, params_)) {
-  if (shards_ > 1) {
+      expansion_(core::expected_expansion(key_, params_)),
+      cycle_min_bits_(cycle_min_bits(key_, params_)) {
+  // The worker pool is clamped to hardware concurrency — sharding across
+  // more workers than cores measures dispatch overhead, not parallelism (the
+  // PR-4 bench recorded exactly that regression on a 1-core host). When the
+  // clamp resolves to a single worker no pool exists at all and every
+  // message runs the sequential resettable cores inline.
+  const int workers = std::min(shards_, util::resolve_parallelism(0, "MhheaCipher"));
+  if (shards_ > 1 && workers > 1) {
     cover_proto_ = core::make_lfsr_cover(params_.vector_bits, seed_);
     // Warm the LFSR's lazily built leap tables and jump matrix once, so
     // every shard worker's clone shares them instead of rebuilding per call.
     (void)cover_proto_->next_block(params_.vector_bits);
     cover_proto_->skip_blocks(params_.vector_bits, 1);
     cover_proto_->reset();
-    pool_ = std::make_unique<util::ThreadPool>(shards_);
+    pool_ = std::make_unique<util::ThreadPool>(workers);
   }
 }
 
-std::vector<std::uint8_t> MhheaCipher::encrypt(std::span<const std::uint8_t> msg) {
-  std::vector<std::uint8_t> raw;
-  std::uint64_t message_bits = 0;
-  const int eff = effective_shards(shards_, msg.size());
-  if (eff > 1) {
-    raw = core::encrypt_sharded(msg, key_, *cover_proto_, eff, pool_.get(), params_);
-    message_bits = static_cast<std::uint64_t>(msg.size()) * 8;
-  } else {
-    enc_.reset();
-    enc_.feed(msg);
-    raw = enc_.cipher_bytes();
-    message_bits = enc_.message_bits();
+std::size_t MhheaCipher::encrypt_into(std::span<const std::uint8_t> msg,
+                                      std::span<std::uint8_t> out) {
+  std::span<std::uint8_t> payload = out;
+  if (framing_ == Framing::sealed) {
+    if (out.size() < core::FrameHeader::kSize) {
+      throw std::length_error("MhheaCipher::encrypt_into: output buffer too small");
+    }
+    payload = out.subspan(core::FrameHeader::kSize);
   }
+  const int workers = pool_ ? pool_->size() : 1;
+  const int eff = std::min(effective_shards(shards_, msg.size()), workers);
+  const std::size_t raw =
+      eff > 1 ? core::encrypt_sharded_into(msg, key_, *cover_proto_, eff, pool_.get(),
+                                           payload, params_)
+              : enc_.encrypt_into(msg, payload);
   if (framing_ == Framing::sealed) {
     core::FrameHeader h;
     h.params = params_;
-    h.message_bits = message_bits;
-    return core::frame_encode(h, raw);
+    h.message_bits = static_cast<std::uint64_t>(msg.size()) * 8;
+    core::frame_encode_header(h, out);
+    return core::FrameHeader::kSize + raw;
   }
   return raw;
 }
 
-std::vector<std::uint8_t> MhheaCipher::decrypt(std::span<const std::uint8_t> cipher,
-                                               std::size_t msg_bytes) {
+std::size_t MhheaCipher::decrypt_into(std::span<const std::uint8_t> cipher,
+                                      std::size_t msg_bytes, std::span<std::uint8_t> out) {
   std::span<const std::uint8_t> payload = cipher;
-  std::uint64_t message_bits = static_cast<std::uint64_t>(msg_bytes) * 8;
+  const std::uint64_t message_bits = static_cast<std::uint64_t>(msg_bytes) * 8;
   if (framing_ == Framing::sealed) {
     const core::FrameHeader h = core::frame_decode(cipher, &payload);
     if (h.params != params_) {
@@ -67,18 +97,51 @@ std::vector<std::uint8_t> MhheaCipher::decrypt(std::span<const std::uint8_t> cip
       throw std::invalid_argument("MhheaCipher: sealed header length mismatch");
     }
   }
-  const int eff = effective_shards(shards_, msg_bytes);
+  const int workers = pool_ ? pool_->size() : 1;
+  const int eff = std::min(effective_shards(shards_, msg_bytes), workers);
   if (eff > 1) {
-    return core::decrypt_sharded(payload, key_, msg_bytes, eff, pool_.get(), params_);
+    return core::decrypt_sharded_into(payload, key_, msg_bytes, eff, pool_.get(), out,
+                                      params_);
   }
-  dec_.reset(message_bits);
-  dec_.feed_bytes(payload);
-  if (!dec_.done()) {
-    throw std::invalid_argument("MhheaCipher: ciphertext too short for message length");
+  return dec_.decrypt_into(payload, message_bits, out);
+}
+
+std::size_t MhheaCipher::ciphertext_size(std::size_t msg_bytes) {
+  const std::size_t raw = static_cast<std::size_t>(
+      enc_.one_shot_cipher_bytes(static_cast<std::uint64_t>(msg_bytes) * 8));
+  return raw + (framing_ == Framing::sealed ? core::FrameHeader::kSize : 0);
+}
+
+std::size_t MhheaCipher::max_ciphertext_size(std::size_t msg_bytes) const {
+  const auto bits = static_cast<std::uint64_t>(msg_bytes) * 8;
+  const auto L = static_cast<std::uint64_t>(key_.size());
+  // Any L consecutive uncapped blocks embed at least cycle_min_bits_ bits,
+  // and only caps (the message end, or one block per frame boundary) break
+  // that — both covered by the trailing +L per capped region.
+  std::uint64_t blocks = 0;
+  if (bits > 0) {
+    if (params_.policy == core::FramePolicy::framed) {
+      const auto vb = static_cast<std::uint64_t>(params_.vector_bits);
+      const std::uint64_t frames = (bits + vb - 1) / vb;
+      blocks = frames * (vb / cycle_min_bits_ * L + L);
+    } else {
+      blocks = bits / cycle_min_bits_ * L + L;
+    }
   }
-  std::vector<std::uint8_t> msg = dec_.message();
-  msg.resize(msg_bytes);
-  return msg;
+  return static_cast<std::size_t>(blocks) * static_cast<std::size_t>(params_.block_bytes()) +
+         (framing_ == Framing::sealed ? core::FrameHeader::kSize : 0);
+}
+
+std::vector<std::uint8_t> MhheaCipher::encrypt(std::span<const std::uint8_t> msg) {
+  // The exact size query would cost a second cover scan, so emit into the
+  // reusable high-water scratch (sized by the cheap bound) and hand back a
+  // right-sized copy — one allocation, the copy is noise next to the cipher
+  // work.
+  const std::size_t bound = max_ciphertext_size(msg.size());
+  if (scratch_.size() < bound) scratch_.resize(bound);
+  const std::size_t n = encrypt_into(msg, scratch_);
+  return std::vector<std::uint8_t>(scratch_.begin(),
+                                   scratch_.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
 }  // namespace mhhea::crypto

@@ -56,12 +56,28 @@ class MhheaCipher final : public Cipher {
   [[nodiscard]] std::string name() const override {
     return framing_ == Framing::sealed ? "MHHEA-sealed" : "MHHEA";
   }
-  [[nodiscard]] std::vector<std::uint8_t> encrypt(
-      std::span<const std::uint8_t> msg) override;
+  /// One-shot encryption straight into the caller's buffer: the core's
+  /// final-sized block planner (no tail-replay bookkeeping) for shards == 1,
+  /// the sharded planner writing disjoint slices for shards > 1; sealed
+  /// framing writes its 16-byte header in place ahead of the blocks. The
+  /// warmed single-shard path performs zero heap allocations.
+  std::size_t encrypt_into(std::span<const std::uint8_t> msg,
+                           std::span<std::uint8_t> out) override;
   /// For sealed framing, `msg_bytes` must agree with the header's message
   /// length (std::invalid_argument otherwise).
-  [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
-                                                  std::size_t msg_bytes) override;
+  std::size_t decrypt_into(std::span<const std::uint8_t> cipher, std::size_t msg_bytes,
+                           std::span<std::uint8_t> out) override;
+  /// Exact, via a cover + scramble-width scan (~a third of an encryption);
+  /// includes the 16-byte header in sealed framing.
+  [[nodiscard]] std::size_t ciphertext_size(std::size_t msg_bytes) override;
+  /// Cheap closed-form worst case from the key's per-pair minimum scramble
+  /// widths (each pair embeds at least min(d+1, H-d+1) bits when uncapped).
+  [[nodiscard]] std::size_t max_ciphertext_size(std::size_t msg_bytes) const override;
+  /// Allocating wrapper: emits into a reusable high-water scratch buffer
+  /// (sized by the cheap bound — the exact query would cost a second cover
+  /// scan) and returns a right-sized copy.
+  [[nodiscard]] std::vector<std::uint8_t> encrypt(
+      std::span<const std::uint8_t> msg) override;
   /// Analytical expected expansion for this key (src/core/analysis.hpp);
   /// excludes the constant 16-byte header in sealed framing.
   [[nodiscard]] double expansion() const override { return expansion_; }
@@ -80,8 +96,12 @@ class MhheaCipher final : public Cipher {
   core::Encryptor enc_;  // reusable core, reset per encrypt()
   core::Decryptor dec_;  // reusable core, reset per decrypt()
   double expansion_;
-  // Sharded-mode state (null when shards_ == 1): the cover prototype each
-  // shard worker clones and jumps, and the worker pool.
+  std::uint64_t cycle_min_bits_;  // sum of per-pair minimum widths (for the bound)
+  std::vector<std::uint8_t> scratch_;  // reusable emit buffer for encrypt()
+  // Sharded-mode state (null when the shards knob or the host resolves to a
+  // single worker — the pool is clamped to hardware concurrency, and with
+  // one worker the plan runs inline on the sequential cores instead): the
+  // cover prototype each shard worker clones and jumps, and the worker pool.
   std::unique_ptr<core::CoverSource> cover_proto_;
   std::unique_ptr<util::ThreadPool> pool_;
 };

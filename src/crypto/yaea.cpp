@@ -1,6 +1,7 @@
 #include "src/crypto/yaea.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace mhhea::crypto {
@@ -70,37 +71,54 @@ Yaea::Yaea(KeyType key, int shards)
       // contract: bad configurations fail at construction, not mid-sweep).
       ks_proto_(key.seed_a, key.seed_b, key.seed_c) {
   ks_proto_.warm();
-  if (shards_ > 1) pool_ = std::make_unique<util::ThreadPool>(shards_);
+  // The worker pool is clamped to hardware concurrency: sharding a message
+  // across more workers than cores only buys dispatch overhead, and a pool
+  // of one would always run inline anyway.
+  const int workers = std::min(shards_, util::resolve_parallelism(0, "Yaea"));
+  if (shards_ > 1 && workers > 1) pool_ = std::make_unique<util::ThreadPool>(workers);
 }
 
-std::vector<std::uint8_t> Yaea::encrypt(std::span<const std::uint8_t> msg) {
-  std::vector<std::uint8_t> out(msg.size());
+std::size_t Yaea::encrypt_into(std::span<const std::uint8_t> msg,
+                               std::span<std::uint8_t> out) {
+  if (out.size() < msg.size()) {
+    throw std::length_error("Yaea::encrypt_into: output buffer too small");
+  }
   // Contiguous byte ranges, each with an independently jumped keystream —
   // one keystream byte consumes 8 steps of each register, so the shard at
-  // byte offset o starts from jump(8 * o).
-  const auto n = static_cast<std::size_t>(effective_shards(shards_, msg.size()));
-  util::run_indexed(pool_.get(), n, [&](std::size_t s) {
+  // byte offset o starts from jump(8 * o). The shard count is additionally
+  // clamped to the worker pool: on a host where the pool resolved to one
+  // worker, the plan runs inline as a single range.
+  const int workers = pool_ ? pool_->size() : 1;
+  const auto n = static_cast<std::size_t>(
+      std::min(effective_shards(shards_, msg.size()), workers));
+  util::run_indexed(n > 1 ? pool_.get() : nullptr, n, [&](std::size_t s) {
     const std::size_t begin = msg.size() * s / n;
     const std::size_t end = msg.size() * (s + 1) / n;
     GeffeKeystream ks = ks_proto_;
     ks.jump(static_cast<std::uint64_t>(begin) * 8);
-    // Bulk keystream straight into the output slice, then one vectorizable
-    // XOR pass over the range.
-    ks.next_bytes(std::span(out.data() + begin, end - begin));
-    for (std::size_t i = begin; i < end; ++i) out[i] ^= msg[i];
+    // Bulk keystream through a stack chunk, then a vectorizable XOR pass per
+    // chunk — never into `out` directly, so `out` may alias `msg` (each byte
+    // of the input is read before its output byte is written).
+    std::array<std::uint8_t, 512> chunk;
+    for (std::size_t i = begin; i < end;) {
+      const std::size_t len = std::min(chunk.size(), end - i);
+      ks.next_bytes(std::span(chunk.data(), len));
+      for (std::size_t k = 0; k < len; ++k) out[i + k] = msg[i + k] ^ chunk[k];
+      i += len;
+    }
   });
-  return out;
+  return msg.size();
 }
 
-std::vector<std::uint8_t> Yaea::decrypt(std::span<const std::uint8_t> cipher,
-                                        std::size_t msg_bytes) {
+std::size_t Yaea::decrypt_into(std::span<const std::uint8_t> cipher, std::size_t msg_bytes,
+                               std::span<std::uint8_t> out) {
   if (cipher.size() < msg_bytes) {
     throw std::invalid_argument("Yaea::decrypt: ciphertext shorter than message length");
   }
   if (cipher.size() > msg_bytes) {
     throw std::invalid_argument("Yaea::decrypt: trailing ciphertext bytes after message end");
   }
-  return encrypt(cipher);  // XOR stream cipher: decrypt == encrypt
+  return encrypt_into(cipher, out);  // XOR stream cipher: decrypt == encrypt
 }
 
 }  // namespace mhhea::crypto

@@ -91,13 +91,25 @@ class Yaea final : public Cipher {
   explicit Yaea(KeyType key, int shards = 1);
 
   [[nodiscard]] std::string name() const override { return "YAEA-S"; }
-  [[nodiscard]] std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> msg) override;
+  /// Keystream XOR straight from `msg` to `out`, chunked through a stack
+  /// buffer so it is aliasing-safe: `out` may be the same span as `msg`
+  /// (in-place encryption) or disjoint from it; partial overlap is not
+  /// supported. Zero heap allocations on the single-shard path.
+  std::size_t encrypt_into(std::span<const std::uint8_t> msg,
+                           std::span<std::uint8_t> out) override;
   /// Strict contract: a stream cipher's ciphertext is exactly as long as the
   /// plaintext, so both truncated and over-long ciphertext throw
   /// std::invalid_argument instead of fabricating zero bytes or silently
-  /// dropping the tail.
-  [[nodiscard]] std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
-                                                  std::size_t msg_bytes) override;
+  /// dropping the tail. Aliasing-safe like encrypt_into.
+  std::size_t decrypt_into(std::span<const std::uint8_t> cipher, std::size_t msg_bytes,
+                           std::span<std::uint8_t> out) override;
+  /// Exact: a stream cipher's ciphertext is its plaintext's size.
+  [[nodiscard]] std::size_t ciphertext_size(std::size_t msg_bytes) override {
+    return msg_bytes;
+  }
+  [[nodiscard]] std::size_t max_ciphertext_size(std::size_t msg_bytes) const override {
+    return msg_bytes;
+  }
   [[nodiscard]] double expansion() const override { return 1.0; }
   [[nodiscard]] int shards() const noexcept { return shards_; }
 

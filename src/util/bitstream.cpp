@@ -91,6 +91,42 @@ std::vector<std::uint8_t> BitWriter::take() noexcept {
   return std::move(out_);
 }
 
+void SpanBitWriter::write_bits(std::uint64_t v, int n) {
+  assert(n >= 0 && n <= 64);
+  v &= mask64(n);
+  bits_ += static_cast<std::size_t>(n);
+  while (n > 0) {
+    const int take = std::min(n, 64 - fill_);
+    acc_ |= v << fill_;  // bits past 64 are dropped; only `take` are kept
+    fill_ += take;
+    v = take >= 64 ? 0 : v >> take;
+    n -= take;
+    while (fill_ >= 8) {
+      put_byte(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+}
+
+void SpanBitWriter::append_bits(std::span<const std::uint8_t> bytes, std::size_t n_bits) {
+  assert(n_bits <= bytes.size() * 8);
+  BitReader reader(bytes);
+  while (n_bits > 0) {
+    const int k = static_cast<int>(std::min<std::size_t>(64, n_bits));
+    write_bits(reader.read_bits(k), k);
+    n_bits -= static_cast<std::size_t>(k);
+  }
+}
+
+void SpanBitWriter::flush() {
+  if (fill_ > 0) {
+    put_byte(static_cast<std::uint8_t>(acc_ & 0xFF));
+    acc_ = 0;
+    fill_ = 0;
+  }
+}
+
 std::vector<std::uint16_t> to_words16(std::span<const std::uint8_t> bytes) {
   std::vector<std::uint16_t> words((bytes.size() + 1) / 2, 0);
   for (std::size_t i = 0; i < bytes.size(); ++i) {

@@ -21,9 +21,9 @@ endif()
 
 file(READ "${OUT_JSON}" doc)
 string(JSON n_results LENGTH "${doc}" results)  # FATAL_ERROR on invalid JSON
-# 4 ciphers x 3 sizes at threads=1 shards=1.
-if(n_results LESS 12)
-  message(FATAL_ERROR "bench_smoke: expected >= 12 result cells, got ${n_results}")
+# 4 ciphers x 3 sizes x 4 dir/api cells at threads=1 shards=1.
+if(n_results LESS 48)
+  message(FATAL_ERROR "bench_smoke: expected >= 48 result cells, got ${n_results}")
 endif()
 
 set(seen "")
