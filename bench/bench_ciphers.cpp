@@ -380,6 +380,25 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
     }
   }
   os << "},\n";
+  // Authenticated-container cost: MHHEA-sealed-v2 over MHHEA-sealed
+  // throughput (sequential encrypt cells, best-rep totals across sizes and
+  // both API forms). 1.0 would be a free MAC; the v2 acceptance floor is
+  // 0.85 (within 15% of v1).
+  os << "  \"mac_overhead\": {";
+  {
+    std::map<std::string, double> sums;  // cipher -> total best-rep MB/s
+    for (const auto& c : cells) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt) {
+        sums[c.cipher] += c.mb_per_s_max;
+      }
+    }
+    const auto v1 = sums.find("MHHEA-sealed");
+    const auto v2 = sums.find("MHHEA-sealed-v2");
+    if (v1 != sums.end() && v2 != sums.end() && v1->second > 0.0) {
+      os << "\"sealed_v2_vs_v1\": " << v2->second / v1->second;
+    }
+  }
+  os << "},\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];

@@ -37,6 +37,10 @@ void CoverSource::reset() {
   throw std::logic_error("CoverSource: this source is not resettable");
 }
 
+void CoverSource::reseed(std::uint64_t /*seed*/) {
+  throw std::logic_error("CoverSource: this source is not reseedable");
+}
+
 LfsrCover::LfsrCover(int bits, std::uint64_t seed)
     : lfsr_(make_lfsr_for(bits, seed)), bits_(bits), seed_(seed) {
   if (bits != 16 && bits != 32 && bits != 64) {
@@ -79,6 +83,12 @@ std::unique_ptr<CoverSource> LfsrCover::clone() const {
 }
 
 void LfsrCover::reset() { lfsr_.set_state(seed_); }
+
+void LfsrCover::reseed(std::uint64_t seed) {
+  if (seed == 0) throw std::invalid_argument("LfsrCover: seed must be non-zero");
+  seed_ = seed;
+  lfsr_.set_state(seed_);
+}
 
 BufferCover::BufferCover(std::vector<std::uint64_t> blocks)
     : blocks_(std::make_shared<const std::vector<std::uint64_t>>(std::move(blocks))) {}

@@ -64,6 +64,13 @@ class CoverSource {
   /// source across messages. Sources that cannot rewind throw
   /// std::logic_error (the default).
   virtual void reset();
+
+  /// Replace the source's seed and rewind to it, so a long-lived cipher core
+  /// can switch to a fresh per-message nonce without rebuilding the source
+  /// (the sealed-v2 session derives one seed per nonce — see
+  /// crypto/session.hpp). Sources without a seed notion throw
+  /// std::logic_error (the default).
+  virtual void reseed(std::uint64_t seed);
 };
 
 /// Maximal-length LFSR source — the paper's Random Number Generator module.
@@ -84,6 +91,9 @@ class LfsrCover final : public CoverSource {
   /// Re-seeds the register with the construction seed (the leap tables are
   /// kept, so resetting is cheap).
   void reset() override;
+  /// Replaces the stored seed (must be non-zero) and rewinds to it; later
+  /// reset() calls land on the new seed. Leap tables are reused.
+  void reseed(std::uint64_t seed) override;
 
  private:
   lfsr::Lfsr lfsr_;

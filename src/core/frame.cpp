@@ -4,12 +4,12 @@
 #include <stdexcept>
 
 #include "src/core/mhhea.hpp"
+#include "src/util/bits.hpp"
 
 namespace mhhea::core {
 
 namespace {
 constexpr std::uint8_t kMagic[4] = {'M', 'H', 'E', 'A'};
-constexpr std::uint8_t kVersion = 1;
 
 int log2_vector_scale(int vector_bits) {
   switch (vector_bits) {
@@ -23,28 +23,34 @@ int log2_vector_scale(int vector_bits) {
 
 void frame_encode_header(const FrameHeader& header, std::span<std::uint8_t> out) {
   header.params.validate();
-  if (out.size() < FrameHeader::kSize) {
+  if (header.version != 1 && header.version != 2) {
+    throw std::invalid_argument("frame: unsupported version");
+  }
+  if (header.version == 1 && header.nonce != 0) {
+    throw std::invalid_argument("frame: v1 header cannot carry a nonce");
+  }
+  if (out.size() < header.header_size()) {
     throw std::length_error("frame: output buffer shorter than header");
   }
   std::memcpy(out.data(), kMagic, 4);
-  out[4] = kVersion;
+  out[4] = static_cast<std::uint8_t>(header.version);
   const std::uint8_t policy_bit = header.params.policy == FramePolicy::framed ? 1 : 0;
   out[5] = static_cast<std::uint8_t>(
       policy_bit | (log2_vector_scale(header.params.vector_bits) << 1));
   out[6] = 0;
   out[7] = 0;
-  for (int i = 0; i < 8; ++i) {
-    out[8 + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>((header.message_bits >> (8 * i)) & 0xFF);
-  }
+  util::store_le(out.data() + 8, header.message_bits, 8);
+  if (header.version == 2) util::store_le(out.data() + 16, header.nonce, 8);
 }
 
 std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
                                        std::span<const std::uint8_t> cipher) {
-  std::vector<std::uint8_t> out(FrameHeader::kSize + cipher.size());
+  // v2 callers (Session / MhheaCipher) append the MAC themselves; this
+  // helper only lays out header + ciphertext.
+  std::vector<std::uint8_t> out(header.header_size() + cipher.size());
   frame_encode_header(header, out);
   if (!cipher.empty()) {
-    std::memcpy(out.data() + FrameHeader::kSize, cipher.data(), cipher.size());
+    std::memcpy(out.data() + header.header_size(), cipher.data(), cipher.size());
   }
   return out;
 }
@@ -57,7 +63,9 @@ FrameHeader frame_decode(std::span<const std::uint8_t> framed,
   if (std::memcmp(framed.data(), kMagic, 4) != 0) {
     throw std::invalid_argument("frame: bad magic");
   }
-  if (framed[4] != kVersion) throw std::invalid_argument("frame: unsupported version");
+  if (framed[4] != 1 && framed[4] != 2) {
+    throw std::invalid_argument("frame: unsupported version");
+  }
   if ((framed[5] & ~0x07) != 0) {
     throw std::invalid_argument("frame: reserved flag bits must be zero");
   }
@@ -65,6 +73,7 @@ FrameHeader frame_decode(std::span<const std::uint8_t> framed,
     throw std::invalid_argument("frame: reserved bytes must be zero");
   }
   FrameHeader h;
+  h.version = framed[4];
   h.params.policy = (framed[5] & 1) != 0 ? FramePolicy::framed : FramePolicy::continuous;
   switch ((framed[5] >> 1) & 0x3) {
     case 0: h.params.vector_bits = 16; break;
@@ -72,12 +81,15 @@ FrameHeader frame_decode(std::span<const std::uint8_t> framed,
     case 2: h.params.vector_bits = 64; break;
     default: throw std::invalid_argument("frame: bad vector-size code");
   }
-  h.message_bits = 0;
-  for (int i = 0; i < 8; ++i) {
-    h.message_bits |= static_cast<std::uint64_t>(framed[8 + static_cast<std::size_t>(i)])
-                      << (8 * i);
+  h.message_bits = util::load_le(framed.data() + 8, 8);
+  if (h.version == 2) {
+    if (framed.size() < FrameHeader::kOverheadV2) {
+      throw std::invalid_argument("frame: v2 buffer shorter than header + MAC");
+    }
+    h.nonce = util::load_le(framed.data() + 16, 8);
   }
-  const std::size_t body = framed.size() - FrameHeader::kSize;
+  const std::size_t trailer = h.version == 2 ? FrameHeader::kMacBytesV2 : 0;
+  const std::size_t body = framed.size() - h.header_size() - trailer;
   const auto bb = static_cast<std::size_t>(h.params.block_bytes());
   if (body % bb != 0) throw std::invalid_argument("frame: payload not block-aligned");
   // Each block carries at least one message bit while bits remain, so the
@@ -92,7 +104,7 @@ FrameHeader frame_decode(std::span<const std::uint8_t> framed,
   if (h.message_bits == 0 && n_blocks != 0) {
     throw std::invalid_argument("frame: empty message with nonempty payload");
   }
-  if (payload != nullptr) *payload = framed.subspan(FrameHeader::kSize);
+  if (payload != nullptr) *payload = framed.subspan(h.header_size(), body);
   return h;
 }
 
@@ -109,6 +121,9 @@ std::vector<std::uint8_t> seal(std::span<const std::uint8_t> msg, const Key& key
 std::vector<std::uint8_t> open(std::span<const std::uint8_t> framed, const Key& key) {
   std::span<const std::uint8_t> payload;
   const FrameHeader h = frame_decode(framed, &payload);
+  if (h.version != 1) {
+    throw std::invalid_argument("frame: v2 container requires authenticated open");
+  }
   Decryptor dec(key, h.message_bits, h.params);
   dec.feed_bytes(payload);
   if (!dec.done()) throw std::invalid_argument("frame: truncated ciphertext");

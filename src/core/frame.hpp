@@ -6,16 +6,28 @@
 //
 //   offset  size  field
 //   0       4     magic "MHEA"
-//   4       1     format version (1)
+//   4       1     format version (1 or 2)
 //   5       1     flags: bit0 = framed policy, bits 2..1 = log2(N/16),
 //                 bits 7..3 reserved (0)
 //   6       2     reserved (0)
 //   8       8     message length in bits (little-endian)
-//   16      ...   ciphertext blocks (N/8 bytes each, little-endian)
+//   16      ...   v1: ciphertext blocks (N/8 bytes each, little-endian)
+//
+// Format v2 (authenticated, encrypt-then-MAC — sealed by crypto::Session or
+// MhheaCipher in Framing::sealed_v2) extends the header and appends a tag:
+//
+//   offset  size  field
+//   0       16    v1 header with version byte = 2
+//   16      8     nonce / message counter (little-endian)
+//   24      ...   ciphertext blocks (N/8 bytes each, little-endian)
+//   end-16  16    SipHash-2-4-128 tag over header || ciphertext
 //
 // The header is integrity-checked on parse (magic, version, vector size,
-// length vs payload). The LFSR seed is deliberately absent — it is a nonce
-// the receiver never needs (see mhhea.hpp).
+// length vs payload). In v1 the LFSR seed is deliberately absent — it is a
+// nonce the receiver never needs (see mhhea.hpp). In v2 the nonce is carried
+// in-band because the cover seed is *derived* from key + nonce by the session
+// key schedule (see crypto/session.hpp); the MAC is verified before any
+// decryption so tampering can never surface as garbage plaintext.
 #pragma once
 
 #include <cstdint>
@@ -30,23 +42,36 @@ namespace mhhea::core {
 struct FrameHeader {
   BlockParams params;
   std::uint64_t message_bits = 0;
+  int version = 1;
+  std::uint64_t nonce = 0;  // v2 only; must be 0 when version == 1
 
-  static constexpr std::size_t kSize = 16;
+  static constexpr std::size_t kSize = 16;       // v1 header bytes
+  static constexpr std::size_t kSizeV2 = 24;     // v2 header bytes (v1 + nonce)
+  static constexpr std::size_t kMacBytesV2 = 16; // v2 trailer tag bytes
+  // Total non-ciphertext bytes of a v2 container.
+  static constexpr std::size_t kOverheadV2 = kSizeV2 + kMacBytesV2;
+
+  [[nodiscard]] std::size_t header_size() const { return version == 2 ? kSizeV2 : kSize; }
 };
 
 /// Serialize header + ciphertext into one buffer.
 [[nodiscard]] std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
                                                      std::span<const std::uint8_t> cipher);
 
-/// Serialize just the 16-byte header into the front of `out` (which must be
-/// at least FrameHeader::kSize bytes — std::length_error otherwise). The
+/// Serialize just the header (16 bytes for v1, 24 for v2, per
+/// `header.version`) into the front of `out` (which must be at least
+/// `header.header_size()` bytes — std::length_error otherwise). The
 /// allocation-free half of frame_encode: the `_into` sealed path writes the
 /// header here and streams blocks straight after it in the caller's buffer.
+/// For v2 the caller appends the MAC trailer after the ciphertext.
 void frame_encode_header(const FrameHeader& header, std::span<std::uint8_t> out);
 
-/// Parse and validate a framed buffer. Throws std::invalid_argument with a
-/// specific message on any malformation. On success, `payload` receives the
-/// ciphertext span (view into `framed`).
+/// Parse and validate a framed buffer (either version). Throws
+/// std::invalid_argument with a specific message on any malformation. On
+/// success, `payload` receives the ciphertext span (view into `framed`); for
+/// v2 this excludes the 16-byte MAC trailer, which is NOT verified here —
+/// structural parsing is keyless, authentication needs the MAC key (see
+/// crypto::MhheaCipher / crypto::Session).
 [[nodiscard]] FrameHeader frame_decode(std::span<const std::uint8_t> framed,
                                        std::span<const std::uint8_t>* payload);
 
@@ -55,7 +80,10 @@ void frame_encode_header(const FrameHeader& header, std::span<std::uint8_t> out)
                                              std::uint64_t seed,
                                              BlockParams params = BlockParams::paper());
 
-/// Convenience: parse + decrypt in one call.
+/// Convenience: parse + decrypt in one call. v1 only: a v2 container is
+/// rejected with std::invalid_argument because opening it without MAC
+/// verification would defeat the authenticated format — use
+/// crypto::Session::open (or MhheaCipher in Framing::sealed_v2) instead.
 [[nodiscard]] std::vector<std::uint8_t> open(std::span<const std::uint8_t> framed,
                                              const Key& key);
 

@@ -164,6 +164,11 @@ void Encryptor::reset() {
   cover_len_ = 0;
 }
 
+void Encryptor::reseed(std::uint64_t seed) {
+  cover_->reseed(seed);  // reset() below rewinds onto the new seed
+  reset();
+}
+
 Encryptor::BlockPlan Encryptor::plan_block(std::uint64_t v, std::size_t remaining,
                                            bool framed) const {
   const detail::PairCtx& pc = pair_ctx_[pair_idx_];

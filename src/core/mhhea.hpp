@@ -94,6 +94,11 @@ class Encryptor {
   /// and rewinds the cover source. Requires a resettable cover
   /// (std::logic_error otherwise — see CoverSource::reset).
   void reset();
+  /// Re-seed the cover source and start a new message — the per-nonce entry
+  /// point of the sealed-v2 session (one derived seed per message keeps the
+  /// long-lived core from ever reusing cover keystream). Requires a
+  /// reseedable cover (std::logic_error otherwise — see CoverSource::reseed).
+  void reseed(std::uint64_t seed);
   /// Total message bits consumed so far.
   [[nodiscard]] std::uint64_t message_bits() const noexcept { return msg_bits_; }
   /// Ciphertext blocks produced so far (deserialized view of the stream,

@@ -69,9 +69,12 @@ class Cipher {
   /// worst-case math as expansion() — what a caller sizes a reusable arena
   /// with. Never smaller than ciphertext_size(msg_bytes).
   [[nodiscard]] virtual std::size_t max_ciphertext_size(std::size_t msg_bytes) const = 0;
-  /// Encrypt the whole message. Default: exact-size buffer + encrypt_into.
+  /// Encrypt the whole message. Default: a max_ciphertext_size() buffer +
+  /// encrypt_into, shrunk to the written bytes — the cheap bound instead of
+  /// the exact size, because for MHHEA ciphertext_size() costs a cover-scan
+  /// plan pass and the shrinking resize never reallocates or copies.
   [[nodiscard]] virtual std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> msg) {
-    std::vector<std::uint8_t> out(ciphertext_size(msg.size()));
+    std::vector<std::uint8_t> out(max_ciphertext_size(msg.size()));
     const std::size_t n = encrypt_into(msg, out);
     out.resize(n);
     return out;

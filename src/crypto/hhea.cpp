@@ -207,34 +207,9 @@ constexpr std::size_t kFetchChunk = core::detail::kShardFetchChunk;
 /// The key's fixed width cycle: block i embeds widths[i mod L] bits (capped
 /// only by frame/message budgets), so bit offsets of block boundaries are
 /// closed-form.
-struct WidthCycle {
-  std::vector<std::uint64_t> prefix;  // prefix[i] = widths of pairs [0, i)
-  std::uint64_t period = 0;           // prefix[L]
-  std::size_t L = 0;
-
-  explicit WidthCycle(const core::Key& key) : L(static_cast<std::size_t>(key.size())) {
-    prefix.reserve(L + 1);
-    prefix.push_back(0);
-    for (const core::KeyPair& p : key.pairs()) {
-      prefix.push_back(prefix.back() + static_cast<std::uint64_t>(p.span() + 1));
-    }
-    period = prefix.back();
-  }
-
-  /// Message bit offset where block `b` begins (continuous policy).
-  [[nodiscard]] std::uint64_t bit_at_block(std::uint64_t b) const {
-    return b / L * period + prefix[static_cast<std::size_t>(b % L)];
-  }
-
-  /// Smallest block count whose capacity covers `bits` (continuous policy).
-  [[nodiscard]] std::uint64_t blocks_for_bits(std::uint64_t bits) const {
-    const std::uint64_t full = bits / period;
-    const std::uint64_t rem = bits % period;
-    const auto it = std::lower_bound(prefix.begin(), prefix.end(), rem);
-    return full * static_cast<std::uint64_t>(L) +
-           static_cast<std::uint64_t>(it - prefix.begin());
-  }
-};
+// WidthCycle moved to hhea.hpp (detail::) so adapters can cache one per key;
+// alias it into this file's historical spelling.
+using WidthCycle = detail::WidthCycle;
 
 /// Continuous plan: an even block split, bit offsets by closed form.
 std::vector<ShardRange> plan_continuous(const WidthCycle& wc, std::uint64_t total_bits,
@@ -445,8 +420,12 @@ std::uint64_t hhea_cipher_bytes(const core::Key& key, std::uint64_t msg_bits,
                                 BlockParams params) {
   params.validate();
   key.require_fits(params, "hhea_cipher_bytes");
+  return hhea_cipher_bytes(WidthCycle(key), msg_bits, params);
+}
+
+std::uint64_t hhea_cipher_bytes(const detail::WidthCycle& wc, std::uint64_t msg_bits,
+                                const BlockParams& params) {
   if (msg_bits == 0) return 0;
-  const WidthCycle wc(key);
   const auto bb = static_cast<std::uint64_t>(params.block_bytes());
   if (params.policy != FramePolicy::framed) return wc.blocks_for_bits(msg_bits) * bb;
   // Framed: one cover-free frame walk over the width cycle (frame budgets

@@ -14,6 +14,7 @@
 // resettable.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -26,6 +27,43 @@
 #include "src/util/thread_pool.hpp"
 
 namespace mhhea::crypto {
+
+namespace detail {
+
+/// The key's per-pair embed widths (span+1 each) as a prefix-sum table —
+/// the closed-form backbone of HHEA size queries and shard planning. Build
+/// once per key and reuse: HheaCipher caches one so its size queries stop
+/// reallocating the table per call.
+struct WidthCycle {
+  std::vector<std::uint64_t> prefix;  // prefix[i] = widths of pairs [0, i)
+  std::uint64_t period = 0;           // prefix[L]
+  std::size_t L = 0;
+
+  explicit WidthCycle(const core::Key& key) : L(static_cast<std::size_t>(key.size())) {
+    prefix.reserve(L + 1);
+    prefix.push_back(0);
+    for (const core::KeyPair& p : key.pairs()) {
+      prefix.push_back(prefix.back() + static_cast<std::uint64_t>(p.span() + 1));
+    }
+    period = prefix.back();
+  }
+
+  /// Message bit offset where block `b` begins (continuous policy).
+  [[nodiscard]] std::uint64_t bit_at_block(std::uint64_t b) const {
+    return b / L * period + prefix[static_cast<std::size_t>(b % L)];
+  }
+
+  /// Smallest block count whose capacity covers `bits` (continuous policy).
+  [[nodiscard]] std::uint64_t blocks_for_bits(std::uint64_t bits) const {
+    const std::uint64_t full = bits / period;
+    const std::uint64_t rem = bits % period;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), rem);
+    return full * static_cast<std::uint64_t>(L) +
+           static_cast<std::uint64_t>(it - prefix.begin());
+  }
+};
+
+}  // namespace detail
 
 /// Streaming HHEA encryptor (API mirrors core::Encryptor).
 class HheaEncryptor {
@@ -98,6 +136,13 @@ class HheaDecryptor {
 /// policy — never a cover scan.
 [[nodiscard]] std::uint64_t hhea_cipher_bytes(const core::Key& key, std::uint64_t msg_bits,
                                               core::BlockParams params = core::BlockParams::paper());
+
+/// Allocation-free form over a prebuilt width cycle (must be the key's —
+/// unchecked, and params/key validation is the caller's: HheaCipher
+/// validates both at construction and reuses its cached cycle here).
+[[nodiscard]] std::uint64_t hhea_cipher_bytes(const detail::WidthCycle& wc,
+                                              std::uint64_t msg_bits,
+                                              const core::BlockParams& params);
 
 /// One-shot helpers with an LFSR cover (seed = nonce), like core::encrypt.
 [[nodiscard]] std::vector<std::uint8_t> hhea_encrypt(

@@ -14,6 +14,7 @@ HheaCipher::HheaCipher(core::Key key, std::uint64_t seed, core::BlockParams para
       seed_(seed),
       params_(params),
       shards_(util::resolve_parallelism(shards, "HheaCipher")),
+      wc_(key_),
       enc_(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_),
       dec_(key_, 0, params_) {
   double mean_bits = 0.0;

@@ -38,16 +38,16 @@ class HheaCipher final : public Cipher {
                            std::span<std::uint8_t> out) override;
   /// Exact and cover-free: HHEA block widths are fixed by the key alone
   /// (hhea_cipher_bytes), so the exact size doubles as the upper bound.
-  /// Each call rebuilds the key's width cycle (one small allocation; plus
-  /// an O(blocks) arithmetic walk under framed params) — noise next to the
-  /// cipher work, but cache the result if sizing in a tight loop.
+  /// Runs over the width cycle cached at construction — no per-call
+  /// allocation (pinned by a counting test), just closed-form arithmetic
+  /// (plus an O(blocks) walk under framed params).
   [[nodiscard]] std::size_t ciphertext_size(std::size_t msg_bytes) override {
     return static_cast<std::size_t>(
-        hhea_cipher_bytes(key_, static_cast<std::uint64_t>(msg_bytes) * 8, params_));
+        hhea_cipher_bytes(wc_, static_cast<std::uint64_t>(msg_bytes) * 8, params_));
   }
   [[nodiscard]] std::size_t max_ciphertext_size(std::size_t msg_bytes) const override {
     return static_cast<std::size_t>(
-        hhea_cipher_bytes(key_, static_cast<std::uint64_t>(msg_bytes) * 8, params_));
+        hhea_cipher_bytes(wc_, static_cast<std::uint64_t>(msg_bytes) * 8, params_));
   }
   /// HHEA embeds exactly span+1 bits per block, so the expansion is the
   /// closed form vector_bits / mean(span_i + 1) — no scramble averaging.
@@ -62,6 +62,7 @@ class HheaCipher final : public Cipher {
   std::uint64_t seed_;
   core::BlockParams params_;
   int shards_;
+  detail::WidthCycle wc_;  // key's width cycle, built once for size queries
   HheaEncryptor enc_;  // reusable core, reset per encrypt()
   HheaDecryptor dec_;  // reusable core, reset per decrypt()
   double expansion_;

@@ -1,0 +1,145 @@
+#include "src/crypto/mac.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "src/util/bits.hpp"
+#include "src/util/rng.hpp"
+
+namespace mhhea::crypto {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  explicit SipState(const MacKey& key, bool wide) {
+    const std::uint64_t k0 = util::load_le(key.data(), 8);
+    const std::uint64_t k1 = util::load_le(key.data() + 8, 8);
+    v0 = k0 ^ 0x736f6d6570736575ULL;
+    v1 = k1 ^ 0x646f72616e646f6dULL;
+    v2 = k0 ^ 0x6c7967656e657261ULL;
+    v3 = k1 ^ 0x7465646279746573ULL;
+    if (wide) v1 ^= 0xee;  // domain-separates the 128-bit variant
+  }
+
+  void round() {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+
+  void absorb(std::uint64_t m) {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+};
+
+// Runs SipHash-2-4 compression over msg including the length-tagged final
+// word, leaving the state ready for finalization.
+SipState sip_compress(const MacKey& key, std::span<const std::uint8_t> msg, bool wide) {
+  SipState s(key, wide);
+  const std::size_t n = msg.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) s.absorb(util::load_le(msg.data() + i, 8));
+  std::uint64_t last = static_cast<std::uint64_t>(n & 0xff) << 56;
+  for (std::size_t j = 0; i + j < n; ++j) {
+    last |= static_cast<std::uint64_t>(msg[i + j]) << (8 * j);
+  }
+  s.absorb(last);
+  return s;
+}
+
+std::uint64_t sip_finalize(SipState& s) {
+  for (int r = 0; r < 4; ++r) s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+}  // namespace
+
+MacTag siphash128(const MacKey& key, std::span<const std::uint8_t> msg) {
+  SipState s = sip_compress(key, msg, /*wide=*/true);
+  s.v2 ^= 0xee;
+  const std::uint64_t lo = sip_finalize(s);
+  s.v1 ^= 0xdd;
+  const std::uint64_t hi = sip_finalize(s);
+  MacTag tag;
+  util::store_le(tag.data(), lo, 8);
+  util::store_le(tag.data() + 8, hi, 8);
+  return tag;
+}
+
+std::uint64_t siphash64(const MacKey& key, std::span<const std::uint8_t> msg) {
+  SipState s = sip_compress(key, msg, /*wide=*/false);
+  s.v2 ^= 0xff;
+  return sip_finalize(s);
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+namespace {
+
+MacKey subkey(const MacKey& root, std::string_view label) {
+  return siphash128(root, std::span(reinterpret_cast<const std::uint8_t*>(label.data()),
+                                    label.size()));
+}
+
+}  // namespace
+
+V2KeySchedule V2KeySchedule::derive(std::span<const std::uint8_t> master) {
+  if (master.empty()) throw std::invalid_argument("V2KeySchedule: empty master key");
+  MacKey root;
+  if (master.size() == kMacKeyBytes) {
+    std::copy(master.begin(), master.end(), root.begin());
+  } else {
+    // Compress to 128 bits under a fixed public key — the secrecy lives in
+    // `master`, the constant only pins the compression function.
+    const MacKey compress_key = {'m', 'h', 'h', 'e', 'a', '-', 'v', '2',
+                                 ' ', 'c', 'o', 'm', 'p', 'r', 's', 's'};
+    root = siphash128(compress_key, master);
+  }
+  V2KeySchedule s;
+  s.mac_key = subkey(root, "mhhea-v2 mac");
+  s.seed_key = subkey(root, "mhhea-v2 seed");
+  return s;
+}
+
+V2KeySchedule V2KeySchedule::derive(std::uint64_t seed) {
+  util::SplitMix64 mix(seed);
+  MacKey master;
+  util::store_le(master.data(), mix.next(), 8);
+  util::store_le(master.data() + 8, mix.next(), 8);
+  return derive(std::span<const std::uint8_t>(master));
+}
+
+std::uint64_t V2KeySchedule::cover_seed(std::uint64_t nonce, int seed_bits) const {
+  std::array<std::uint8_t, 8> n;
+  util::store_le(n.data(), nonce, 8);
+  std::uint64_t s = siphash64(seed_key, n) & util::mask64(seed_bits);
+  // A zero seed would park the cover LFSR; substituting 1 costs one nonce a
+  // bit of seed entropy and nothing else.
+  return s == 0 ? 1 : s;
+}
+
+}  // namespace mhhea::crypto

@@ -32,13 +32,35 @@ std::uint64_t cycle_min_bits(const core::Key& key, const core::BlockParams& para
 
 MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams params,
                          Framing framing, int shards)
+    : MhheaCipher(std::move(key), seed,
+                  framing == Framing::sealed_v2 ? V2KeySchedule::derive(seed)
+                                                : V2KeySchedule{},
+                  params, framing, shards) {}
+
+MhheaCipher::MhheaCipher(core::Key key, const V2KeySchedule& schedule,
+                         core::BlockParams params, Framing framing, int shards)
+    : MhheaCipher(std::move(key), 0, schedule, params, framing, shards) {
+  if (framing != Framing::sealed_v2) {
+    throw std::invalid_argument("MhheaCipher: a key schedule requires Framing::sealed_v2");
+  }
+}
+
+MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, const V2KeySchedule& schedule,
+                         core::BlockParams params, Framing framing, int shards)
     : key_(std::move(key)),
       seed_(seed),
       params_(params),
       framing_(framing),
       shards_(util::resolve_parallelism(shards, "MhheaCipher")),
+      sched_(schedule),
       // Core construction validates params, seed and key-vs-params eagerly.
-      enc_(key_, core::make_lfsr_cover(params_.vector_bits, seed_), params_),
+      // sealed_v2 seeds the cover for nonce 0 from the schedule (cur_nonce_
+      // starts at 0 to match); the raw seed is then only schedule input.
+      enc_(key_,
+           core::make_lfsr_cover(params_.vector_bits, framing == Framing::sealed_v2
+                                                          ? v2_cover_seed(0)
+                                                          : seed),
+           params_),
       dec_(key_, 0, params_),
       expansion_(core::expected_expansion(key_, params_)),
       cycle_min_bits_(cycle_min_bits(key_, params_)) {
@@ -49,7 +71,8 @@ MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams pa
   // message runs the sequential resettable cores inline.
   const int workers = std::min(shards_, util::resolve_parallelism(0, "MhheaCipher"));
   if (shards_ > 1 && workers > 1) {
-    cover_proto_ = core::make_lfsr_cover(params_.vector_bits, seed_);
+    cover_proto_ = core::make_lfsr_cover(
+        params_.vector_bits, framing_ == Framing::sealed_v2 ? v2_cover_seed(0) : seed_);
     // Warm the LFSR's lazily built leap tables and jump matrix once, so
     // every shard worker's clone shares them instead of rebuilding per call.
     (void)cover_proto_->next_block(params_.vector_bits);
@@ -59,8 +82,34 @@ MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, core::BlockParams pa
   }
 }
 
+std::uint64_t MhheaCipher::v2_cover_seed(std::uint64_t nonce) const {
+  // The cover LFSR's degree caps the usable seed bits (64-bit vectors run a
+  // degree-32 register — cover.hpp).
+  const int degree = params_.vector_bits >= 64 ? 32 : params_.vector_bits;
+  return sched_.cover_seed(nonce, degree);
+}
+
+void MhheaCipher::set_nonce(std::uint64_t nonce) {
+  if (nonce == cur_nonce_) return;
+  const std::uint64_t s = v2_cover_seed(nonce);
+  enc_.reseed(s);
+  if (cover_proto_) cover_proto_->reseed(s);
+  cur_nonce_ = nonce;
+}
+
+void MhheaCipher::require_v2(const char* what) const {
+  if (framing_ != Framing::sealed_v2) {
+    throw std::logic_error(std::string("MhheaCipher::") + what +
+                           ": requires Framing::sealed_v2");
+  }
+}
+
 std::size_t MhheaCipher::encrypt_into(std::span<const std::uint8_t> msg,
                                       std::span<std::uint8_t> out) {
+  // Through the uniform interface every sealed_v2 message goes out under
+  // nonce 0 — deterministic, like every other cipher in the sweep. Callers
+  // that need distinct nonces drive seal_v2_into (crypto::Session does).
+  if (framing_ == Framing::sealed_v2) return seal_v2_into(msg, 0, out);
   std::span<std::uint8_t> payload = out;
   if (framing_ == Framing::sealed) {
     if (out.size() < core::FrameHeader::kSize) {
@@ -86,10 +135,25 @@ std::size_t MhheaCipher::encrypt_into(std::span<const std::uint8_t> msg,
 
 std::size_t MhheaCipher::decrypt_into(std::span<const std::uint8_t> cipher,
                                       std::size_t msg_bytes, std::span<std::uint8_t> out) {
-  std::span<const std::uint8_t> payload = cipher;
   const std::uint64_t message_bits = static_cast<std::uint64_t>(msg_bytes) * 8;
+  if (framing_ == Framing::sealed_v2) {
+    // Authenticate first — on any tampering this throws before a single
+    // block is decrypted.
+    const V2Opened opened = open_v2_authenticate(cipher);
+    if (opened.header.message_bits != message_bits) {
+      throw std::invalid_argument("MhheaCipher: sealed header length mismatch");
+    }
+    return decrypt_v2_payload(opened, out);
+  }
+  std::span<const std::uint8_t> payload = cipher;
   if (framing_ == Framing::sealed) {
     const core::FrameHeader h = core::frame_decode(cipher, &payload);
+    if (h.version != 1) {
+      // A v2 container parses structurally, but opening it here would skip
+      // MAC verification — cross-version confusion is rejected outright.
+      throw std::invalid_argument(
+          "MhheaCipher: v1 sealed cipher cannot open a v2 container");
+    }
     if (h.params != params_) {
       throw std::invalid_argument("MhheaCipher: sealed header params mismatch");
     }
@@ -107,6 +171,7 @@ std::size_t MhheaCipher::decrypt_into(std::span<const std::uint8_t> cipher,
 }
 
 std::size_t MhheaCipher::ciphertext_size(std::size_t msg_bytes) {
+  if (framing_ == Framing::sealed_v2) return sealed_v2_size(msg_bytes, 0);
   const std::size_t raw = static_cast<std::size_t>(
       enc_.one_shot_cipher_bytes(static_cast<std::uint64_t>(msg_bytes) * 8));
   return raw + (framing_ == Framing::sealed ? core::FrameHeader::kSize : 0);
@@ -128,20 +193,85 @@ std::size_t MhheaCipher::max_ciphertext_size(std::size_t msg_bytes) const {
       blocks = bits / cycle_min_bits_ * L + L;
     }
   }
+  std::size_t overhead = 0;
+  if (framing_ == Framing::sealed) overhead = core::FrameHeader::kSize;
+  if (framing_ == Framing::sealed_v2) overhead = core::FrameHeader::kOverheadV2;
   return static_cast<std::size_t>(blocks) * static_cast<std::size_t>(params_.block_bytes()) +
-         (framing_ == Framing::sealed ? core::FrameHeader::kSize : 0);
+         overhead;
 }
 
-std::vector<std::uint8_t> MhheaCipher::encrypt(std::span<const std::uint8_t> msg) {
-  // The exact size query would cost a second cover scan, so emit into the
-  // reusable high-water scratch (sized by the cheap bound) and hand back a
-  // right-sized copy — one allocation, the copy is noise next to the cipher
-  // work.
-  const std::size_t bound = max_ciphertext_size(msg.size());
-  if (scratch_.size() < bound) scratch_.resize(bound);
-  const std::size_t n = encrypt_into(msg, scratch_);
-  return std::vector<std::uint8_t>(scratch_.begin(),
-                                   scratch_.begin() + static_cast<std::ptrdiff_t>(n));
+std::size_t MhheaCipher::seal_v2_into(std::span<const std::uint8_t> msg, std::uint64_t nonce,
+                                      std::span<std::uint8_t> out) {
+  require_v2("seal_v2_into");
+  if (out.size() < core::FrameHeader::kOverheadV2) {
+    throw std::length_error("MhheaCipher::seal_v2_into: output buffer too small");
+  }
+  set_nonce(nonce);
+  // Blocks land between the header and the trailer; encrypt_into's own
+  // length_error covers a payload slice that cannot hold them.
+  std::span<std::uint8_t> payload = out.subspan(
+      core::FrameHeader::kSizeV2, out.size() - core::FrameHeader::kOverheadV2);
+  const int workers = pool_ ? pool_->size() : 1;
+  const int eff = std::min(effective_shards(shards_, msg.size()), workers);
+  const std::size_t raw =
+      eff > 1 ? core::encrypt_sharded_into(msg, key_, *cover_proto_, eff, pool_.get(),
+                                           payload, params_)
+              : enc_.encrypt_into(msg, payload);
+  core::FrameHeader h;
+  h.version = 2;
+  h.nonce = nonce;
+  h.params = params_;
+  h.message_bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  core::frame_encode_header(h, out);
+  const std::size_t authed = core::FrameHeader::kSizeV2 + raw;
+  const MacTag tag = siphash128(sched_.mac_key, out.first(authed));
+  std::copy(tag.begin(), tag.end(), out.begin() + static_cast<std::ptrdiff_t>(authed));
+  return authed + core::FrameHeader::kMacBytesV2;
+}
+
+std::size_t MhheaCipher::sealed_v2_size(std::size_t msg_bytes, std::uint64_t nonce) {
+  require_v2("sealed_v2_size");
+  // Ciphertext length depends on cover content, so the scan must run under
+  // the queried nonce's derived seed.
+  set_nonce(nonce);
+  return static_cast<std::size_t>(
+             enc_.one_shot_cipher_bytes(static_cast<std::uint64_t>(msg_bytes) * 8)) +
+         core::FrameHeader::kOverheadV2;
+}
+
+MhheaCipher::V2Opened MhheaCipher::open_v2_authenticate(
+    std::span<const std::uint8_t> framed) const {
+  require_v2("open_v2_authenticate");
+  std::span<const std::uint8_t> payload;
+  const core::FrameHeader h = core::frame_decode(framed, &payload);
+  if (h.version != 2) {
+    throw std::invalid_argument("MhheaCipher: sealed-v2 open of a v1 container");
+  }
+  if (h.params != params_) {
+    throw std::invalid_argument("MhheaCipher: sealed header params mismatch");
+  }
+  const std::size_t authed = framed.size() - core::FrameHeader::kMacBytesV2;
+  const MacTag tag = siphash128(sched_.mac_key, framed.first(authed));
+  if (!constant_time_equal(tag, framed.subspan(authed))) {
+    throw MacError("MhheaCipher: sealed-v2 MAC verification failed");
+  }
+  return {h, payload};
+}
+
+std::size_t MhheaCipher::decrypt_v2_payload(const V2Opened& opened,
+                                            std::span<std::uint8_t> out) {
+  require_v2("decrypt_v2_payload");
+  const std::uint64_t bits = opened.header.message_bits;
+  const int workers = pool_ ? pool_->size() : 1;
+  if (bits % 8 == 0) {
+    const auto msg_bytes = static_cast<std::size_t>(bits / 8);
+    const int eff = std::min(effective_shards(shards_, msg_bytes), workers);
+    if (eff > 1) {
+      return core::decrypt_sharded_into(opened.payload, key_, msg_bytes, eff, pool_.get(),
+                                        out, params_);
+    }
+  }
+  return dec_.decrypt_into(opened.payload, bits, out);
 }
 
 }  // namespace mhhea::crypto

@@ -16,16 +16,27 @@
 // core::seal/open container (frame.hpp): a 16-byte header carrying params
 // and message length ahead of the blocks. That is the mode the bench uses
 // to measure the framed/hardware configuration end to end.
+//
+// Framing::sealed_v2 is the authenticated container (frame.hpp's v2 wire
+// layout): a 24-byte header carrying an explicit nonce, encrypt-then-MAC
+// with a SipHash-2-4-128 trailer over header || ciphertext, and a per-nonce
+// cover seed derived by the V2KeySchedule so no two nonces share keystream.
+// Through the uniform Cipher interface every message is sealed under nonce 0
+// (calls stay deterministic, as the sweep harness requires); the seal_v2 /
+// open_v2 entry points take explicit nonces and are what crypto::Session
+// drives with its auto-incrementing counter and replay window.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "src/core/cover.hpp"
+#include "src/core/frame.hpp"
 #include "src/core/key.hpp"
 #include "src/core/mhhea.hpp"
 #include "src/core/params.hpp"
 #include "src/crypto/cipher.hpp"
+#include "src/crypto/mac.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace mhhea::crypto {
@@ -34,8 +45,9 @@ class MhheaCipher final : public Cipher {
  public:
   /// Ciphertext layout produced by encrypt().
   enum class Framing {
-    raw,     ///< bare ciphertext blocks (the paper's out-of-band-EOF mode)
-    sealed,  ///< core::seal container: 16-byte header + blocks
+    raw,        ///< bare ciphertext blocks (the paper's out-of-band-EOF mode)
+    sealed,     ///< core::seal container: 16-byte header + blocks
+    sealed_v2,  ///< authenticated container: 24-byte header + blocks + MAC
   };
 
   /// `seed` is the LFSR nonce; must be non-zero in the low LFSR-degree bits
@@ -49,38 +61,79 @@ class MhheaCipher final : public Cipher {
   /// single-shard path. 0 picks hardware concurrency; negative counts throw
   /// std::invalid_argument. shards == 1 (the default) runs the sequential
   /// resettable cores with zero added overhead.
+  /// For Framing::sealed_v2 the `seed` doubles as the schedule master: the
+  /// V2KeySchedule expands it into MAC and seed-derivation subkeys, and the
+  /// cover is seeded for nonce 0 (the seed's low bits are not used directly,
+  /// so the non-zero constraint does not apply to this framing).
   MhheaCipher(core::Key key, std::uint64_t seed,
               core::BlockParams params = core::BlockParams::paper(),
               Framing framing = Framing::raw, int shards = 1);
 
+  /// Sealed-v2 with an explicit key schedule (how crypto::Session builds its
+  /// cipher from a caller-provided master secret). `framing` must be
+  /// sealed_v2 — std::invalid_argument otherwise.
+  MhheaCipher(core::Key key, const V2KeySchedule& schedule, core::BlockParams params,
+              Framing framing, int shards = 1);
+
   [[nodiscard]] std::string name() const override {
-    return framing_ == Framing::sealed ? "MHHEA-sealed" : "MHHEA";
+    switch (framing_) {
+      case Framing::sealed: return "MHHEA-sealed";
+      case Framing::sealed_v2: return "MHHEA-sealed-v2";
+      default: return "MHHEA";
+    }
   }
   /// One-shot encryption straight into the caller's buffer: the core's
   /// final-sized block planner (no tail-replay bookkeeping) for shards == 1,
   /// the sharded planner writing disjoint slices for shards > 1; sealed
-  /// framing writes its 16-byte header in place ahead of the blocks. The
+  /// framing writes its 16-byte header in place ahead of the blocks, and
+  /// sealed_v2 seals under nonce 0 (header + blocks + MAC trailer). The
   /// warmed single-shard path performs zero heap allocations.
   std::size_t encrypt_into(std::span<const std::uint8_t> msg,
                            std::span<std::uint8_t> out) override;
-  /// For sealed framing, `msg_bytes` must agree with the header's message
-  /// length (std::invalid_argument otherwise).
+  /// For sealed framings, `msg_bytes` must agree with the header's message
+  /// length (std::invalid_argument otherwise). sealed_v2 verifies the MAC in
+  /// constant time BEFORE any decryption — MacError (an invalid_argument) on
+  /// any tampered bit, so garbage plaintext is never produced.
   std::size_t decrypt_into(std::span<const std::uint8_t> cipher, std::size_t msg_bytes,
                            std::span<std::uint8_t> out) override;
   /// Exact, via a cover + scramble-width scan (~a third of an encryption);
-  /// includes the 16-byte header in sealed framing.
+  /// includes the constant container overhead in the sealed framings.
   [[nodiscard]] std::size_t ciphertext_size(std::size_t msg_bytes) override;
   /// Cheap closed-form worst case from the key's per-pair minimum scramble
   /// widths (each pair embeds at least min(d+1, H-d+1) bits when uncapped).
   [[nodiscard]] std::size_t max_ciphertext_size(std::size_t msg_bytes) const override;
-  /// Allocating wrapper: emits into a reusable high-water scratch buffer
-  /// (sized by the cheap bound — the exact query would cost a second cover
-  /// scan) and returns a right-sized copy.
-  [[nodiscard]] std::vector<std::uint8_t> encrypt(
-      std::span<const std::uint8_t> msg) override;
   /// Analytical expected expansion for this key (src/core/analysis.hpp);
-  /// excludes the constant 16-byte header in sealed framing.
+  /// excludes the constant container overhead in the sealed framings.
   [[nodiscard]] double expansion() const override { return expansion_; }
+
+  // --- sealed_v2 entry points (std::logic_error under other framings) ---
+
+  /// Seal `msg` under an explicit `nonce`: v2 header + ciphertext blocks +
+  /// MAC over everything before the tag, written into `out` (std::length_error
+  /// when it cannot fit). Returns the container bytes. The cover is re-seeded
+  /// from the schedule's per-nonce derivation, so distinct nonces never share
+  /// keystream. Zero heap allocations once warmed (single-shard).
+  std::size_t seal_v2_into(std::span<const std::uint8_t> msg, std::uint64_t nonce,
+                           std::span<std::uint8_t> out);
+  /// Container bytes seal_v2_into would produce (nonce-independent: the
+  /// ciphertext length depends on cover content, so this re-seeds for the
+  /// queried nonce and scans).
+  [[nodiscard]] std::size_t sealed_v2_size(std::size_t msg_bytes, std::uint64_t nonce);
+
+  /// The authenticated-but-not-yet-decrypted view of a v2 container.
+  struct V2Opened {
+    core::FrameHeader header;
+    std::span<const std::uint8_t> payload;  // ciphertext blocks, MAC excluded
+  };
+  /// Structural parse + constant-time MAC verification, no decryption:
+  /// std::invalid_argument on malformation or a v1 container, MacError on tag
+  /// mismatch. What Session calls first so replay checks run on
+  /// authenticated nonces only.
+  [[nodiscard]] V2Opened open_v2_authenticate(std::span<const std::uint8_t> framed) const;
+  /// Decrypt an authenticated container's payload into `out` (zero-padded to
+  /// whole bytes), returning ceil(message_bits/8). std::length_error when
+  /// `out` is too small.
+  std::size_t decrypt_v2_payload(const V2Opened& opened, std::span<std::uint8_t> out);
 
   [[nodiscard]] const core::Key& key() const noexcept { return key_; }
   [[nodiscard]] const core::BlockParams& params() const noexcept { return params_; }
@@ -88,16 +141,30 @@ class MhheaCipher final : public Cipher {
   [[nodiscard]] int shards() const noexcept { return shards_; }
 
  private:
+  /// Delegation target of the public constructors: `schedule` is live only
+  /// under Framing::sealed_v2.
+  MhheaCipher(core::Key key, std::uint64_t seed, const V2KeySchedule& schedule,
+              core::BlockParams params, Framing framing, int shards);
+
+  /// Cover seed for sealed_v2 under `nonce` (other framings use seed_).
+  [[nodiscard]] std::uint64_t v2_cover_seed(std::uint64_t nonce) const;
+  /// Point the encryptor core (and the shard prototype) at `nonce`'s derived
+  /// cover seed. No-op when already there — consecutive same-nonce calls
+  /// (size query then seal) pay one derivation, zero reseeds.
+  void set_nonce(std::uint64_t nonce);
+  void require_v2(const char* what) const;
+
   core::Key key_;
   std::uint64_t seed_;
   core::BlockParams params_;
   Framing framing_;
   int shards_;
+  V2KeySchedule sched_;       // sealed_v2 only; zeroed otherwise
+  std::uint64_t cur_nonce_ = 0;  // nonce enc_/cover_proto_ are seeded for
   core::Encryptor enc_;  // reusable core, reset per encrypt()
   core::Decryptor dec_;  // reusable core, reset per decrypt()
   double expansion_;
   std::uint64_t cycle_min_bits_;  // sum of per-pair minimum widths (for the bound)
-  std::vector<std::uint8_t> scratch_;  // reusable emit buffer for encrypt()
   // Sharded-mode state (null when the shards knob or the host resolves to a
   // single worker — the pool is clamped to hardware concurrency, and with
   // one worker the plan runs inline on the sequential cores instead): the

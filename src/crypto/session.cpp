@@ -1,0 +1,99 @@
+#include "src/crypto/session.hpp"
+
+#include <string_view>
+
+#include "src/util/rng.hpp"
+
+namespace mhhea::crypto {
+
+namespace {
+
+V2KeySchedule schedule_for(std::span<const std::uint8_t> master) {
+  return V2KeySchedule::derive(master);
+}
+
+/// Deterministic hiding key drawn from the schedule, under its own domain
+/// label so it is independent of the MAC and seed subkeys.
+core::Key derive_hiding_key(const V2KeySchedule& sched, int n_pairs,
+                            const core::BlockParams& params) {
+  constexpr std::string_view label = "mhhea-v2 hiding key";
+  const std::uint64_t seed = siphash64(
+      sched.seed_key,
+      std::span(reinterpret_cast<const std::uint8_t*>(label.data()), label.size()));
+  util::Xoshiro256 rng(seed);
+  return core::Key::random(rng, n_pairs, params);
+}
+
+}  // namespace
+
+Session::Session(std::span<const std::uint8_t> master, core::Key key,
+                 core::BlockParams params, int shards)
+    : cipher_(std::move(key), schedule_for(master), params, MhheaCipher::Framing::sealed_v2,
+              shards) {}
+
+Session Session::from_master(std::span<const std::uint8_t> master, int n_pairs,
+                             core::BlockParams params, int shards) {
+  const V2KeySchedule sched = schedule_for(master);
+  return Session(master, derive_hiding_key(sched, n_pairs, params), params, shards);
+}
+
+std::vector<std::uint8_t> Session::seal(std::span<const std::uint8_t> msg) {
+  std::vector<std::uint8_t> out(cipher_.sealed_v2_size(msg.size(), next_nonce_));
+  const std::size_t n = cipher_.seal_v2_into(msg, next_nonce_, out);
+  out.resize(n);
+  ++next_nonce_;
+  return out;
+}
+
+std::size_t Session::seal_into(std::span<const std::uint8_t> msg, std::span<std::uint8_t> out) {
+  const std::size_t n = cipher_.seal_v2_into(msg, next_nonce_, out);
+  ++next_nonce_;  // only after the seal fully succeeded
+  return n;
+}
+
+void Session::check_replay(std::uint64_t nonce) const {
+  if (!any_seen_) return;
+  if (nonce > highest_) return;
+  const std::uint64_t age = highest_ - nonce;
+  if (age >= kReplayWindow) {
+    throw ReplayError("Session: nonce older than the replay window");
+  }
+  if ((seen_ >> age) & 1u) throw ReplayError("Session: replayed nonce");
+}
+
+void Session::commit_replay(std::uint64_t nonce) {
+  if (!any_seen_) {
+    any_seen_ = true;
+    highest_ = nonce;
+    seen_ = 1;
+    return;
+  }
+  if (nonce > highest_) {
+    const std::uint64_t advance = nonce - highest_;
+    seen_ = advance >= 64 ? 0 : seen_ << advance;
+    seen_ |= 1;
+    highest_ = nonce;
+    return;
+  }
+  seen_ |= std::uint64_t{1} << (highest_ - nonce);
+}
+
+std::vector<std::uint8_t> Session::open(std::span<const std::uint8_t> framed) {
+  const MhheaCipher::V2Opened opened = cipher_.open_v2_authenticate(framed);
+  check_replay(opened.header.nonce);
+  std::vector<std::uint8_t> msg((opened.header.message_bits + 7) / 8);
+  (void)cipher_.decrypt_v2_payload(opened, msg);
+  commit_replay(opened.header.nonce);
+  return msg;
+}
+
+std::size_t Session::open_into(std::span<const std::uint8_t> framed,
+                               std::span<std::uint8_t> out) {
+  const MhheaCipher::V2Opened opened = cipher_.open_v2_authenticate(framed);
+  check_replay(opened.header.nonce);
+  const std::size_t n = cipher_.decrypt_v2_payload(opened, out);
+  commit_replay(opened.header.nonce);
+  return n;
+}
+
+}  // namespace mhhea::crypto

@@ -21,9 +21,9 @@ endif()
 
 file(READ "${OUT_JSON}" doc)
 string(JSON n_results LENGTH "${doc}" results)  # FATAL_ERROR on invalid JSON
-# 4 ciphers x 3 sizes x 4 dir/api cells at threads=1 shards=1.
-if(n_results LESS 48)
-  message(FATAL_ERROR "bench_smoke: expected >= 48 result cells, got ${n_results}")
+# 5 ciphers x 3 sizes x 4 dir/api cells at threads=1 shards=1.
+if(n_results LESS 60)
+  message(FATAL_ERROR "bench_smoke: expected >= 60 result cells, got ${n_results}")
 endif()
 
 set(seen "")
@@ -41,7 +41,7 @@ foreach(i RANGE ${last})
   list(APPEND seen "${cipher}")
 endforeach()
 
-foreach(want MHHEA MHHEA-sealed HHEA YAEA-S)
+foreach(want MHHEA MHHEA-sealed MHHEA-sealed-v2 HHEA YAEA-S)
   if(NOT "${want}" IN_LIST seen)
     message(FATAL_ERROR "bench_smoke: registry cipher ${want} missing from results")
   endif()

@@ -131,6 +131,14 @@ TEST(Frame, MalformedHeaderFuzz) {
     for (int delta = 1; delta < 256; ++delta) {
       auto corrupt = framed;
       corrupt[pos] = static_cast<std::uint8_t>(corrupt[pos] ^ delta);
+      if (pos == 4 && corrupt[4] == 2) {
+        // Version 2 is a valid wire version: this payload is long enough to
+        // parse structurally as v2, but the keyless open must reject it —
+        // decrypting a v2 container without MAC verification would defeat
+        // the authenticated format.
+        EXPECT_THROW((void)open(corrupt, key), std::invalid_argument);
+        continue;
+      }
       EXPECT_THROW((void)frame_decode(corrupt, nullptr), std::invalid_argument)
           << "pos=" << pos << " delta=" << delta;
     }
@@ -177,6 +185,122 @@ TEST(Frame, TruncatedPayloadThrows) {
   auto framed = seal(msg, key, 0xACE1);
   framed.resize(framed.size() - 2);  // drop the last block, keep alignment
   EXPECT_THROW((void)open(framed, key), std::invalid_argument);
+}
+
+// A structurally valid v2 container shell: 24-byte header + `body` zero
+// blocks + 16-byte (unverified here — frame_decode is keyless) MAC trailer.
+std::vector<std::uint8_t> v2_shell(std::uint64_t message_bits, std::size_t body,
+                                   std::uint64_t nonce) {
+  FrameHeader h;
+  h.version = 2;
+  h.nonce = nonce;
+  h.message_bits = message_bits;
+  std::vector<std::uint8_t> buf(FrameHeader::kSizeV2 + body + FrameHeader::kMacBytesV2);
+  frame_encode_header(h, buf);
+  return buf;
+}
+
+TEST(FrameV2, HeaderRoundTrip) {
+  const auto buf = v2_shell(/*message_bits=*/16, /*body=*/8, /*nonce=*/0x0123456789ABCDEF);
+  std::span<const std::uint8_t> payload;
+  const FrameHeader h = frame_decode(buf, &payload);
+  EXPECT_EQ(h.version, 2);
+  EXPECT_EQ(h.nonce, 0x0123456789ABCDEFu);
+  EXPECT_EQ(h.message_bits, 16u);
+  EXPECT_EQ(payload.size(), 8u);  // the MAC trailer is not part of the payload
+  EXPECT_EQ(payload.data(), buf.data() + FrameHeader::kSizeV2);
+}
+
+TEST(FrameV2, LayoutIsStable) {
+  const auto buf = v2_shell(16, 8, 0xAABBCCDDEEFF0011);
+  EXPECT_EQ(buf[4], 2);     // version
+  EXPECT_EQ(buf[8], 16);    // message bits, little-endian u64
+  EXPECT_EQ(buf[16], 0x11); // nonce, little-endian u64 at offset 16
+  EXPECT_EQ(buf[17], 0x00);
+  EXPECT_EQ(buf[18], 0xFF);
+  EXPECT_EQ(buf[23], 0xAA);
+}
+
+TEST(FrameV2, RejectsBufferShorterThanOverhead) {
+  // Everything from empty up to one byte short of header+MAC must throw —
+  // there is no valid v2 container below kOverheadV2 bytes.
+  const auto buf = v2_shell(16, 8, 7);
+  for (std::size_t len = 0; len < FrameHeader::kOverheadV2; ++len) {
+    const std::vector<std::uint8_t> prefix(buf.begin(),
+                                           buf.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)frame_decode(prefix, nullptr), std::invalid_argument) << len;
+  }
+}
+
+TEST(FrameV2, StructuralChecksStillApply) {
+  // The v1 structural sweep (reserved bits/bytes, vector code, alignment,
+  // length bounds) applies unchanged to v2 buffers.
+  auto corrupt = v2_shell(16, 8, 7);
+  corrupt[6] = 1;
+  EXPECT_THROW((void)frame_decode(corrupt, nullptr), std::invalid_argument);
+  corrupt = v2_shell(16, 8, 7);
+  corrupt[5] |= 0x08;
+  EXPECT_THROW((void)frame_decode(corrupt, nullptr), std::invalid_argument);
+  // Misaligned body: one extra byte between blocks and MAC.
+  auto misaligned = v2_shell(16, 9, 7);
+  EXPECT_THROW((void)frame_decode(misaligned, nullptr), std::invalid_argument);
+  // Length bounds: more message bits than the blocks can carry.
+  auto bogus = v2_shell(16 * 64, 8, 7);
+  EXPECT_THROW((void)frame_decode(bogus, nullptr), std::invalid_argument);
+}
+
+TEST(FrameV2, CoreOpenRejectsV2) {
+  // The keyless convenience open never decrypts v2 — it cannot verify the
+  // MAC, and returning unauthenticated plaintext is the bug this format
+  // exists to fix.
+  const Key key = Key::parse("0-3");
+  const auto buf = v2_shell(16, 8, 7);
+  EXPECT_THROW((void)open(buf, key), std::invalid_argument);
+}
+
+TEST(FrameV2, EncodeRejectsBadVersionAndV1Nonce) {
+  FrameHeader h;
+  h.version = 3;
+  std::vector<std::uint8_t> buf(FrameHeader::kSizeV2);
+  EXPECT_THROW(frame_encode_header(h, buf), std::invalid_argument);
+  h.version = 1;
+  h.nonce = 5;  // v1 has no nonce field to carry it
+  EXPECT_THROW(frame_encode_header(h, buf), std::invalid_argument);
+}
+
+TEST(Frame, ExceptionTypeConvention) {
+  // Pin the error-type convention across encode/decode: malformed *input* is
+  // std::invalid_argument; an *output* buffer too small for the request is
+  // std::length_error. (Regression guard — the two were at risk of drifting
+  // as v2 added paths.)
+  FrameHeader h;
+  std::vector<std::uint8_t> small(FrameHeader::kSize - 1);
+  EXPECT_THROW(frame_encode_header(h, small), std::length_error);
+  h.version = 2;
+  std::vector<std::uint8_t> small2(FrameHeader::kSizeV2 - 1);
+  EXPECT_THROW(frame_encode_header(h, small2), std::length_error);
+  EXPECT_THROW((void)frame_decode(small, nullptr), std::invalid_argument);
+}
+
+TEST(Frame, OpenZeroesSlackBits) {
+  // A message whose bit length is not a whole number of bytes: the slack
+  // bits past message_bits in the final byte must come back zero even when
+  // every fed bit was 1 (open() must not leak stale high bits).
+  util::Xoshiro256 rng(23);
+  const Key key = Key::random(rng, 4);
+  const std::vector<std::uint8_t> dirty = {0xFF, 0xFF};
+  Encryptor enc(key, make_lfsr_cover(BlockParams::paper().vector_bits, 0xACE1));
+  util::BitReader reader(dirty);
+  enc.feed_bits(reader, 13);
+  FrameHeader h;
+  h.message_bits = enc.message_bits();
+  ASSERT_EQ(h.message_bits, 13u);
+  const auto framed = frame_encode(h, enc.cipher_bytes());
+  const auto msg = open(framed, key);
+  ASSERT_EQ(msg.size(), 2u);
+  EXPECT_EQ(msg[0], 0xFF);
+  EXPECT_EQ(msg[1] & 0x1F, 0x1F);  // the 5 real bits survive
+  EXPECT_EQ(msg[1] & 0xE0, 0);     // the 3 slack bits are zero
 }
 
 }  // namespace

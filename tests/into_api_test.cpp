@@ -24,6 +24,7 @@
 #include "src/crypto/batch.hpp"
 #include "src/crypto/cipher.hpp"
 #include "src/crypto/hhea.hpp"
+#include "src/crypto/hhea_cipher.hpp"
 #include "src/crypto/registry.hpp"
 #include "src/crypto/yaea.hpp"
 #include "src/util/rng.hpp"
@@ -336,7 +337,9 @@ TEST(ShardedInto, HheaShardedIntoMatchesSequential) {
 TEST(ZeroAllocation, WarmedEncryptIntoLoop) {
   util::Xoshiro256 rng(0x0A11);
   const auto msg = random_message(rng, 16384);
-  for (const char* name : {"MHHEA", "YAEA-S"}) {
+  // MHHEA-sealed-v2 rides the same contract: header write + SipHash trailer
+  // stay on the stack, so authentication adds no allocations.
+  for (const char* name : {"MHHEA", "YAEA-S", "MHHEA-sealed-v2"}) {
     auto cipher = CipherRegistry::builtin().make(name, 0xACE1, 1);
     std::vector<std::uint8_t> out(cipher->max_ciphertext_size(msg.size()));
     // Warm: first calls may build lazy LFSR leap tables and grow scratch.
@@ -348,6 +351,27 @@ TEST(ZeroAllocation, WarmedEncryptIntoLoop) {
     const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
     EXPECT_EQ(after - before, 0u) << name << ": warmed encrypt_into loop allocated";
     EXPECT_EQ(n, expected) << name;
+  }
+}
+
+// HheaCipher size queries run over the width cycle cached at construction —
+// repeated calls must stay allocation-free (they used to rebuild the cycle's
+// prefix table per call).
+TEST(ZeroAllocation, HheaSizeQueriesUseCachedCycle) {
+  util::Xoshiro256 rng(0x51CE);
+  for (const auto params : {core::BlockParams::paper(), core::BlockParams::hardware()}) {
+    core::Key key = core::Key::random(rng, 8, params);
+    HheaCipher cipher(std::move(key), 0xACE1, params, 1);
+    (void)cipher.ciphertext_size(1024);  // nothing lazy left after one call
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    std::size_t total = 0;
+    for (std::size_t len = 1; len <= 4096; len *= 2) {
+      total += cipher.ciphertext_size(len);
+      total += cipher.max_ciphertext_size(len);
+    }
+    const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u) << "HheaCipher size query allocated";
+    EXPECT_GT(total, 0u);
   }
 }
 

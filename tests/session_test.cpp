@@ -1,0 +1,192 @@
+// crypto::Session — the stateful layer over sealed format v2: counter
+// nonces, per-nonce cover seeds, and the sliding replay window.
+#include "src/crypto/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/frame.hpp"
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+#include "src/util/rng.hpp"
+
+namespace mhhea::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> random_message(util::Xoshiro256& rng, std::size_t n) {
+  std::vector<std::uint8_t> msg(n);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+  return msg;
+}
+
+const std::vector<std::uint8_t> kMaster = bytes_of("a long-lived session master secret");
+
+Session make_pair_session() { return Session::from_master(kMaster); }
+
+TEST(Session, RoundTripManyMessages) {
+  Session sealer = make_pair_session();
+  Session opener = make_pair_session();
+  util::Xoshiro256 rng(0x5e55);
+  for (std::size_t len : {0u, 1u, 7u, 100u, 1000u}) {
+    const auto msg = random_message(rng, len);
+    const auto sealed = sealer.seal(msg);
+    EXPECT_EQ(opener.open(sealed), msg) << len;
+  }
+  EXPECT_EQ(sealer.next_nonce(), 5u);
+}
+
+TEST(Session, FromMasterIsDeterministic) {
+  // Both endpoints derive identical sessions from the master alone.
+  Session a = Session::from_master(kMaster);
+  Session b = Session::from_master(kMaster);
+  const auto msg = bytes_of("hello");
+  EXPECT_EQ(a.seal(msg), b.seal(msg));
+  // A different master produces a different container.
+  Session c = Session::from_master(bytes_of("another master"));
+  EXPECT_NE(c.seal(msg), Session::from_master(kMaster).seal(msg));
+}
+
+TEST(Session, CounterBecomesNonceAndAdvances) {
+  Session sealer = make_pair_session();
+  const auto msg = bytes_of("x");
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sealer.next_nonce(), i);
+    const auto sealed = sealer.seal(msg);
+    const core::FrameHeader h = core::frame_decode(sealed, nullptr);
+    EXPECT_EQ(h.version, 2);
+    EXPECT_EQ(h.nonce, i);
+  }
+}
+
+TEST(Session, DistinctNoncesProduceDistinctCiphertext) {
+  // The whole point of per-nonce cover seeds: sealing the same message
+  // twice must not reuse keystream, so the ciphertext blocks differ.
+  Session sealer = make_pair_session();
+  const auto msg = bytes_of("the same message, twice");
+  const auto first = sealer.seal(msg);
+  const auto second = sealer.seal(msg);
+  ASSERT_EQ(core::frame_decode(first, nullptr).nonce, 0u);
+  ASSERT_EQ(core::frame_decode(second, nullptr).nonce, 1u);
+  // Compare payload blocks only (sizes can legitimately differ — the cover
+  // determines per-block capacity).
+  std::span<const std::uint8_t> p1, p2;
+  (void)core::frame_decode(first, &p1);
+  (void)core::frame_decode(second, &p2);
+  const bool same = p1.size() == p2.size() &&
+                    std::equal(p1.begin(), p1.end(), p2.begin());
+  EXPECT_FALSE(same);
+}
+
+TEST(Session, SealIntoOpenIntoSpanForms) {
+  Session sealer = make_pair_session();
+  Session opener = make_pair_session();
+  util::Xoshiro256 rng(0x51);
+  const auto msg = random_message(rng, 300);
+  std::vector<std::uint8_t> buf(sealer.max_sealed_size(msg.size()));
+  const std::size_t n = sealer.seal_into(msg, buf);
+  ASSERT_LE(n, buf.size());
+  std::vector<std::uint8_t> back(msg.size(), 0xEE);
+  const std::size_t m = opener.open_into(std::span(buf).first(n), back);
+  EXPECT_EQ(m, msg.size());
+  EXPECT_EQ(back, msg);
+  // A too-small seal buffer throws length_error and does NOT burn the nonce.
+  const std::uint64_t before = sealer.next_nonce();
+  std::vector<std::uint8_t> tiny(8);
+  EXPECT_THROW((void)sealer.seal_into(msg, tiny), std::length_error);
+  EXPECT_EQ(sealer.next_nonce(), before);
+}
+
+TEST(Session, RejectsReplayedNonce) {
+  Session sealer = make_pair_session();
+  Session opener = make_pair_session();
+  const auto sealed = sealer.seal(bytes_of("once only"));
+  EXPECT_EQ(opener.open(sealed), bytes_of("once only"));
+  EXPECT_THROW((void)opener.open(sealed), ReplayError);
+}
+
+TEST(Session, AcceptsOutOfOrderWithinWindow) {
+  Session sealer = make_pair_session();
+  Session opener = make_pair_session();
+  std::vector<std::vector<std::uint8_t>> sealed;
+  for (int i = 0; i < 8; ++i) {
+    sealed.push_back(sealer.seal(bytes_of("msg " + std::to_string(i))));
+  }
+  // Deliver newest first, then the stragglers — all accepted exactly once.
+  for (int i = 7; i >= 0; --i) {
+    EXPECT_EQ(opener.open(sealed[static_cast<std::size_t>(i)]),
+              bytes_of("msg " + std::to_string(i)))
+        << i;
+  }
+  // Every replay is now caught.
+  for (const auto& s : sealed) EXPECT_THROW((void)opener.open(s), ReplayError);
+}
+
+TEST(Session, RejectsNonceOlderThanWindow) {
+  Session sealer = make_pair_session();
+  Session opener = make_pair_session();
+  std::vector<std::vector<std::uint8_t>> sealed;
+  const auto n = static_cast<int>(Session::kReplayWindow) + 2;
+  for (int i = 0; i < n; ++i) sealed.push_back(sealer.seal(bytes_of("m")));
+  // Open the newest; nonce 0 and 1 are now beyond the 64-wide window.
+  (void)opener.open(sealed.back());
+  EXPECT_THROW((void)opener.open(sealed[0]), ReplayError);
+  EXPECT_THROW((void)opener.open(sealed[1]), ReplayError);
+  // The oldest nonce still inside the window is accepted.
+  EXPECT_EQ(opener.open(sealed[2]), bytes_of("m"));
+}
+
+TEST(Session, FailedOpenDoesNotCommitNonce) {
+  Session sealer = make_pair_session();
+  Session opener = make_pair_session();
+  auto sealed = sealer.seal(bytes_of("deliver me"));
+  auto tampered = sealed;
+  tampered[tampered.size() - 1] ^= 1;  // break the MAC
+  EXPECT_THROW((void)opener.open(tampered), MacError);
+  // The authentic container still opens: the failed attempt burned nothing.
+  EXPECT_EQ(opener.open(sealed), bytes_of("deliver me"));
+}
+
+TEST(Session, TamperedContainerThrowsBeforeDecryption) {
+  Session sealer = make_pair_session();
+  Session opener = make_pair_session();
+  const auto sealed = sealer.seal(bytes_of("authentic"));
+  for (std::size_t pos = 0; pos < sealed.size(); ++pos) {
+    auto tampered = sealed;
+    tampered[pos] ^= 0x10;
+    EXPECT_THROW((void)opener.open(tampered), std::invalid_argument) << pos;
+  }
+}
+
+TEST(Session, ShardCountDoesNotChangeTheWire) {
+  // A sharded sealer produces byte-identical containers (jump-ahead shard
+  // planning is bit-exact), and a single-shard opener reads them.
+  util::Xoshiro256 rng(0x5ead);
+  const auto msg = random_message(rng, 50000);
+  Session seq = Session::from_master(kMaster, 8, core::BlockParams::hardware(), 1);
+  Session par = Session::from_master(kMaster, 8, core::BlockParams::hardware(), 4);
+  const auto a = seq.seal(msg);
+  const auto b = par.seal(msg);
+  EXPECT_EQ(a, b);
+  Session opener = make_pair_session();
+  EXPECT_EQ(opener.open(a), msg);
+}
+
+TEST(Session, ExplicitKeyConstructor) {
+  util::Xoshiro256 rng(0x991);
+  const auto params = core::BlockParams::hardware();
+  const core::Key key = core::Key::random(rng, 6, params);
+  Session a(kMaster, key, params);
+  Session b(kMaster, key, params);
+  const auto msg = bytes_of("explicit key");
+  EXPECT_EQ(b.open(a.seal(msg)), msg);
+}
+
+}  // namespace
+}  // namespace mhhea::crypto
