@@ -17,7 +17,7 @@
 // configuration.
 //
 // Usage: bench_ciphers [--out FILE] [--quick] [--reps N] [--threads N]
-//                      [--shards N] [--seed S]
+//                      [--shards N] [--seed S] [--backend auto|scalar|avx2]
 //   --reps N     repetitions per cell (default 9, or 2 with --quick; the
 //                bench_smoke ctest runs --reps 1 so harness breakage fails
 //                CI instead of only the artifact step)
@@ -34,6 +34,13 @@
 //                sequential path and should match the shards=1 row)
 //   --seed S     registry key/nonce derivation seed (decimal or 0x hex), for
 //                reproducible runs
+//   --backend B  force the keystream engine for the whole run (default
+//                auto: cpuid picks). Forcing an engine the host cannot run
+//                is an error — a bench must never silently measure scalar
+//                while labelled avx2. Every JSON row records the engine,
+//                and a "host" block records the cpu capabilities, so perf
+//                trajectories across BENCH_ciphers.json artifacts are
+//                attributable to hardware.
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -50,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/backend/backend.hpp"
 #include "src/crypto/batch.hpp"
 #include "src/crypto/registry.hpp"
 #include "src/util/rng.hpp"
@@ -284,6 +292,14 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
   os << "  \"max_threads\": " << max_threads << ",\n";
   os << "  \"max_shards\": " << max_shards << ",\n";
+  // Host capabilities: which keystream engine produced these numbers and
+  // what the silicon could have run, so artifacts from different runners
+  // compare like with like.
+  const std::string backend_name(mhhea::backend::active().name());
+  os << "  \"host\": {\"backend\": \"" << backend_name << "\", \"cpu_avx2\": "
+     << (mhhea::backend::cpu_has_avx2() ? "true" : "false") << ", \"avx2_compiled\": "
+     << (mhhea::backend::avx2_compiled() ? "true" : "false")
+     << ", \"hardware_concurrency\": " << std::thread::hardware_concurrency() << "},\n";
   // Aggregate batch scaling per cipher: total best-rep throughput across
   // message sizes at max_threads over the same at one thread (both at
   // shards=1). Only emitted when a multi-thread column was actually swept —
@@ -402,7 +418,8 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];
-    os << "    {\"cipher\": \"" << json_escape(c.cipher) << "\", \"msg_bytes\": "
+    os << "    {\"cipher\": \"" << json_escape(c.cipher) << "\", \"backend\": \""
+       << backend_name << "\", \"msg_bytes\": "
        << c.msg_bytes << ", \"threads\": " << c.threads << ", \"shards\": " << c.shards
        << ", \"dir\": \"" << dir_name(c.dir) << "\", \"api\": \"" << api_name(c.api)
        << "\", \"batch_size\": "
@@ -457,9 +474,19 @@ int main(int argc, char** argv) try {
         std::cerr << "bench_ciphers: --seed must be a non-zero 64-bit integer\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      // Forcing an engine the host cannot run is a hard error: a bench must
+      // never silently measure scalar while its artifact is labelled avx2.
+      const char* name = argv[++i];
+      if (!mhhea::backend::set_active(name)) {
+        std::cerr << "bench_ciphers: backend \"" << name
+                  << "\" is not available on this host (try auto or scalar)\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: bench_ciphers [--out FILE] [--quick] [--reps N] "
-                   "[--threads N] [--shards N] [--seed S]\n";
+                   "[--threads N] [--shards N] [--seed S] "
+                   "[--backend auto|scalar|avx2]\n";
       return 2;
     }
   }

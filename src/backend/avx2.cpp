@@ -1,0 +1,175 @@
+// The AVX2 engine: 8 independent 32-bit register states per ymm, stepped
+// vertically in lockstep. Table applications become vpgatherdd lookups into
+// the same LinearMapTables the scalar engine reads — identical XOR algebra,
+// different evaluation width — so the engines are bit-identical by
+// construction.
+//
+// This is the only TU compiled with -mavx2 (see CMakeLists.txt); nothing
+// here executes unless dispatch's runtime cpuid check admitted the engine,
+// so the compile flag never leaks illegal instructions onto pre-AVX2 hosts.
+// When the toolchain lacks -mavx2 entirely, the TU degrades to a stub that
+// reports the engine absent.
+
+#include "src/backend/backend.hpp"
+#include "src/backend/kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace mhhea::backend {
+namespace {
+
+inline const int* table_base(const LinearMapTables& m, int byte) noexcept {
+  return reinterpret_cast<const int*>(m.t[static_cast<std::size_t>(byte)].data());
+}
+
+/// map(s) for 8 states at once; Bytes as in LinearMapTables::apply. The top
+/// index of the widest byte in use needs no mask — states are confined below
+/// the byte boundary only for the partial-byte cases the callers pass.
+template <int Bytes>
+inline __m256i apply_map8(const LinearMapTables& m, __m256i s) noexcept {
+  const __m256i ff = _mm256_set1_epi32(0xFF);
+  __m256i r = _mm256_i32gather_epi32(table_base(m, 0), _mm256_and_si256(s, ff), 4);
+  if constexpr (Bytes >= 2) {
+    const __m256i i1 = _mm256_and_si256(_mm256_srli_epi32(s, 8), ff);
+    r = _mm256_xor_si256(r, _mm256_i32gather_epi32(table_base(m, 1), i1, 4));
+  }
+  if constexpr (Bytes >= 3) {
+    const __m256i i2 = _mm256_and_si256(_mm256_srli_epi32(s, 16), ff);
+    r = _mm256_xor_si256(r, _mm256_i32gather_epi32(table_base(m, 2), i2, 4));
+  }
+  if constexpr (Bytes >= 4) {
+    const __m256i i3 = _mm256_srli_epi32(s, 24);
+    r = _mm256_xor_si256(r, _mm256_i32gather_epi32(table_base(m, 3), i3, 4));
+  }
+  return r;
+}
+
+template <int Bytes>
+inline void lfsr_blocks8(const LinearMapTables& leap, std::uint32_t* states,
+                         std::uint64_t* out, std::size_t per_lane) noexcept {
+  __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(states));
+  alignas(32) std::uint32_t tmp[8];
+  for (std::size_t t = 0; t < per_lane; ++t) {
+    s = apply_map8<Bytes>(leap, s);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), s);
+    for (std::size_t l = 0; l < 8; ++l) out[l * per_lane + t] = tmp[l];
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(states), s);
+}
+
+/// 4+4 zero-extension of the 8 32-bit lanes to two 4x64 halves (lanes 0-3
+/// and 4-7), so 64-bit window shifts and the Geffe combine stay vertical.
+inline void widen(__m256i v, __m256i& lo, __m256i& hi) noexcept {
+  lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v));
+  hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v, 1));
+}
+
+struct Win {
+  __m256i lo, hi;
+};
+
+/// geffe_window64 (kernels.hpp) for 8 lanes: same D-chain / M^64 update,
+/// with the shift-and-OR window composition running on widened halves.
+inline Win geffe_window8(__m256i& s, const LinearMapTables& deg,
+                         const LinearMapTables& upd, int d) noexcept {
+  Win w;
+  __m256i cur = s;
+  widen(cur, w.lo, w.hi);
+  for (int filled = d; filled < 64; filled += d) {
+    cur = apply_map8<3>(deg, cur);
+    __m256i lo, hi;
+    widen(cur, lo, hi);
+    const __m128i shift = _mm_cvtsi32_si128(filled);
+    w.lo = _mm256_or_si256(w.lo, _mm256_sll_epi64(lo, shift));
+    w.hi = _mm256_or_si256(w.hi, _mm256_sll_epi64(hi, shift));
+  }
+  s = apply_map8<3>(upd, s);
+  return w;
+}
+
+inline __m256i combine(__m256i a, __m256i b, __m256i c) noexcept {
+  return _mm256_or_si256(_mm256_and_si256(a, b), _mm256_andnot_si256(a, c));
+}
+
+class Avx2Backend final : public Backend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "avx2"; }
+  [[nodiscard]] std::size_t lanes() const noexcept override { return 8; }
+
+  void lfsr_blocks(const LinearMapTables& leap, int degree,
+                   std::uint32_t* states, std::size_t n_lanes,
+                   std::uint64_t* out, std::size_t per_lane) const override {
+    if (n_lanes != 8) {  // partial passes go through the shared scalar kernel
+      detail::lfsr_blocks_scalar_any(leap, degree, states, n_lanes, out, per_lane);
+      return;
+    }
+    switch (state_bytes(degree)) {
+      case 1:
+      case 2:
+        lfsr_blocks8<2>(leap, states, out, per_lane);
+        break;
+      case 3:
+        lfsr_blocks8<3>(leap, states, out, per_lane);
+        break;
+      default:
+        lfsr_blocks8<4>(leap, states, out, per_lane);
+        break;
+    }
+  }
+
+  void geffe_units(const GeffeKernel& k, std::uint32_t* a, std::uint32_t* b,
+                   std::uint32_t* c, std::size_t n_lanes,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t per_lane) const override {
+    if (n_lanes != 8) {
+      detail::geffe_units_scalar(k, a, b, c, n_lanes, in, out, per_lane);
+      return;
+    }
+    __m256i sa = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    __m256i sb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    __m256i sc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c));
+    alignas(32) std::uint64_t z[8];
+    for (std::size_t t = 0; t < per_lane; ++t) {
+      const Win wa = geffe_window8(sa, *k.deg[0], *k.upd[0], k.degree[0]);
+      const Win wb = geffe_window8(sb, *k.deg[1], *k.upd[1], k.degree[1]);
+      const Win wc = geffe_window8(sc, *k.deg[2], *k.upd[2], k.degree[2]);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(z), combine(wa.lo, wb.lo, wc.lo));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(z + 4), combine(wa.hi, wb.hi, wc.hi));
+      for (std::size_t l = 0; l < 8; ++l) {
+        const std::size_t off = (l * per_lane + t) * 8;
+        std::uint64_t v = z[l];
+        if (in != nullptr) v ^= util::load_le(in + off, 8);
+        util::store_le(out + off, v, 8);
+      }
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a), sa);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(b), sb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c), sc);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+const Backend* avx2_backend_compiled() noexcept {
+  static const Avx2Backend instance;
+  return &instance;
+}
+}  // namespace detail
+
+bool avx2_compiled() noexcept { return true; }
+
+}  // namespace mhhea::backend
+
+#else  // !__AVX2__: toolchain without -mavx2 — engine absent, scalar serves.
+
+namespace mhhea::backend {
+namespace detail {
+const Backend* avx2_backend_compiled() noexcept { return nullptr; }
+}  // namespace detail
+bool avx2_compiled() noexcept { return false; }
+}  // namespace mhhea::backend
+
+#endif

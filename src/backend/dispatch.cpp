@@ -1,0 +1,75 @@
+// Engine selection: cpuid + MHHEA_BACKEND, resolved once, forcible
+// in-process. The active engine is a process-global (stateless singleton
+// pointer behind an atomic), so switching it between operations — what the
+// parity tests and the bench --backend flag do — is safe; switching it
+// *during* an operation is not a supported use.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/backend/backend.hpp"
+
+namespace mhhea::backend {
+namespace {
+
+std::atomic<const Backend*> g_active{nullptr};
+
+}  // namespace
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Backend* by_name(std::string_view name) noexcept {
+  if (name == "scalar") return &detail::scalar_backend();
+  if (name == "avx2" && cpu_has_avx2()) return detail::avx2_backend_compiled();
+  return nullptr;
+}
+
+std::string_view resolve_backend_choice(const char* env, bool have_avx2) noexcept {
+  const std::string_view want = (env == nullptr || *env == '\0') ? "auto" : env;
+  if (want == "scalar") return "scalar";
+  if (want == "avx2") {
+    // Graceful fallback: forcing avx2 on a host (or build) that lacks it
+    // degrades to scalar with zero behavior change instead of faulting.
+    return (have_avx2 && detail::avx2_backend_compiled() != nullptr) ? "avx2"
+                                                                     : "scalar";
+  }
+  if (want != "auto") {
+    std::fprintf(stderr,
+                 "mhhea: unknown MHHEA_BACKEND value \"%.*s\", using auto\n",
+                 static_cast<int>(want.size()), want.data());
+  }
+  return (have_avx2 && detail::avx2_backend_compiled() != nullptr) ? "avx2"
+                                                                   : "scalar";
+}
+
+const Backend& active() {
+  const Backend* b = g_active.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    const Backend* resolved =
+        by_name(resolve_backend_choice(std::getenv("MHHEA_BACKEND"), cpu_has_avx2()));
+    if (resolved == nullptr) resolved = &detail::scalar_backend();
+    // First resolution wins if several threads race — both compute the same
+    // answer, so either store is fine.
+    g_active.store(resolved, std::memory_order_release);
+    b = resolved;
+  }
+  return *b;
+}
+
+bool set_active(std::string_view name) noexcept {
+  const Backend* b =
+      name == "auto" ? by_name(resolve_backend_choice(nullptr, cpu_has_avx2()))
+                     : by_name(name);
+  if (b == nullptr) return false;
+  g_active.store(b, std::memory_order_release);
+  return true;
+}
+
+}  // namespace mhhea::backend

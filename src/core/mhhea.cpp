@@ -9,9 +9,11 @@
 namespace mhhea::core {
 
 namespace {
-/// Cover vectors prefetched per refill. Bounded so a streaming feed never
-/// holds more than ~2 KiB of look-ahead.
-constexpr std::size_t kCoverChunk = 256;
+/// Cover vectors prefetched per refill. Sized so LFSR covers cross the
+/// multi-lane threshold of Lfsr::next_blocks (2 * backend::kLfsrLaneBlocks
+/// blocks) and a full 8-lane pass fits per fetch; still bounded, so a
+/// streaming feed never holds more than ~16 KiB of look-ahead.
+constexpr std::size_t kCoverChunk = 2048;
 }  // namespace
 
 Encryptor::Encryptor(Key key, std::unique_ptr<CoverSource> cover, BlockParams params)

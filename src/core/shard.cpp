@@ -230,70 +230,6 @@ std::uint64_t encrypt_range(const ShardRange& r, std::span<const std::uint8_t> m
 
 // ------------------------------------------------------------- decryption
 
-/// Extract one shard's blocks into a private bit buffer. Continuous shards
-/// take every block's full width (the global message-end cap is applied at
-/// splice time); framed shards replay the frame budget against their own bit
-/// count, which the plan made self-contained by aligning shards to frames.
-struct ExtractResult {
-  std::vector<std::uint8_t> bytes;
-  std::uint64_t bits = 0;
-  int last_width = 0;  // width of the shard's final block (trailing check)
-};
-
-ExtractResult extract_range(std::span<const std::uint8_t> cipher, const ShardRange& r,
-                            const std::vector<detail::PairCtx>& pairs,
-                            const BlockParams& params) {
-  const bool framed = params.policy == FramePolicy::framed;
-  const int bb = params.block_bytes();
-  const int h = params.half();
-  std::size_t pair_idx = static_cast<std::size_t>(r.block_begin % pairs.size());
-  util::BitWriter out;
-  out.reserve_bits(static_cast<std::size_t>(r.max_blocks) * static_cast<std::size_t>(h));
-  ExtractResult res;
-  const std::uint8_t* src = cipher.data() + r.block_begin * static_cast<std::uint64_t>(bb);
-  if (framed) {
-    // Frame-batched: shard boundaries are frame starts and the plan walk
-    // made max_blocks cover whole frames, so each pass collects one frame's
-    // bits into a word and writes them with a single write_bits.
-    std::uint64_t remaining = r.n_bits;
-    for (std::uint64_t b = 0; b < r.max_blocks;) {
-      const int frame = params.frame_budget(remaining);
-      if (frame == 0) break;  // blocks past the bit budget carry nothing
-      std::uint64_t word = 0;
-      int consumed = 0;
-      while (consumed < frame && b < r.max_blocks) {
-        const std::uint64_t v = util::load_le(src, bb);
-        src += bb;
-        ++b;
-        const detail::PairCtx& pc = pairs[pair_idx];
-        if (++pair_idx == pairs.size()) pair_idx = 0;
-        const ScrambledRange range = scramble_range(v, pc.pair, params);
-        const int w = std::min(range.width(), frame - consumed);
-        word |= extract_bits_with_pattern(v, range.kn1, pc.pattern, w) << consumed;
-        consumed += w;
-        res.last_width = w;
-      }
-      out.write_bits(word, consumed);
-      res.bits += static_cast<std::uint64_t>(consumed);
-      remaining -= static_cast<std::uint64_t>(consumed);
-    }
-    res.bytes = out.take();
-    return res;
-  }
-  for (std::uint64_t b = 0; b < r.max_blocks; ++b, src += bb) {
-    const std::uint64_t v = util::load_le(src, bb);
-    const detail::PairCtx& pc = pairs[pair_idx];
-    if (++pair_idx == pairs.size()) pair_idx = 0;
-    const ScrambledRange range = scramble_range(v, pc.pair, params);
-    const int w = range.width();
-    out.write_bits(extract_bits_with_pattern(v, range.kn1, pc.pattern, w), w);
-    res.bits += static_cast<std::uint64_t>(w);
-    res.last_width = w;
-  }
-  res.bytes = out.take();
-  return res;
-}
-
 /// Framed-policy worker for the `_into` decrypt path. Shard boundaries are
 /// frame starts — whole multiples of vector_bits message bits, hence
 /// byte-aligned — so the frame-batched extract streams straight into the
@@ -462,47 +398,102 @@ void run_decrypt_sharded(std::span<const std::uint8_t> cipher, const Key& key,
     return;
   }
 
-  // Continuous policy: no plan — widths are recomputed from the blocks
-  // themselves, so shards are an even block split whose bit offsets are only
-  // known after extraction. Workers therefore keep private bit buffers,
-  // spliced in order into the caller's storage.
-  std::vector<ShardRange> ranges;
+  // Continuous policy: no encrypt-side plan survives — widths are
+  // recomputed from the ciphertext blocks themselves. A parallel capacity
+  // pre-scan (the decrypt-side mirror of plan_continuous's scan_chunk, but
+  // reading blocks instead of stepping a cover) sums widths per chunk;
+  // shard boundaries are then walked to the nearest block edge whose
+  // cumulative bit offset is byte-aligned, so every worker extracts
+  // straight into its disjoint slice of the caller's span — no private bit
+  // buffers, no serial splice. The scan also yields the strict
+  // truncated/trailing validation up front.
   const std::uint64_t n_eff =
       std::min<std::uint64_t>(static_cast<std::uint64_t>(n_shards), n_blocks);
-  for (std::uint64_t s = 0; s < n_eff; ++s) {
-    ShardRange r;
-    r.block_begin = n_blocks * s / n_eff;
-    r.max_blocks = n_blocks * (s + 1) / n_eff - r.block_begin;
-    ranges.push_back(r);
-  }
+  const auto width_at = [&](std::uint64_t block) {
+    const std::uint64_t v =
+        util::load_le(cipher.data() + block * static_cast<std::uint64_t>(bb),
+                      static_cast<int>(bb));
+    return scramble_range(v, pairs[static_cast<std::size_t>(block % pairs.size())].pair,
+                          params)
+        .width();
+  };
 
-  std::vector<ExtractResult> results(ranges.size());
-  util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
-    results[s] = extract_range(cipher, ranges[s], pairs, params);
+  const std::uint64_t chunk_blocks =
+      std::clamp<std::uint64_t>(n_blocks / (4 * n_eff) + 1, 64, 8192);
+  const auto n_chunks = static_cast<std::size_t>((n_blocks + chunk_blocks - 1) / chunk_blocks);
+  std::vector<std::uint64_t> cum(n_chunks + 1, 0);  // bits before chunk i
+  util::run_indexed(pool, n_chunks, [&](std::size_t i) {
+    const std::uint64_t begin = static_cast<std::uint64_t>(i) * chunk_blocks;
+    const std::uint64_t end = std::min(n_blocks, begin + chunk_blocks);
+    std::uint64_t bits = 0;
+    for (std::uint64_t b = begin; b < end; ++b) {
+      bits += static_cast<std::uint64_t>(width_at(b));
+    }
+    cum[i + 1] = bits;  // chunk sums first; prefixed below
   });
+  for (std::size_t i = 0; i < n_chunks; ++i) cum[i + 1] += cum[i];
 
-  std::uint64_t total_sum = 0;
-  for (const ExtractResult& r : results) total_sum += r.bits;
+  const std::uint64_t total_sum = cum[n_chunks];
   if (total_sum < total_bits) {
     throw std::invalid_argument("decrypt_sharded: ciphertext too short for message length");
   }
-  if (!results.empty() &&
-      total_sum - static_cast<std::uint64_t>(results.back().last_width) >= total_bits) {
+  if (total_sum - static_cast<std::uint64_t>(width_at(n_blocks - 1)) >= total_bits) {
     // Bits before the final block already complete the message, so that
     // block (at least) is trailing — mirror the sequential strictness.
     throw std::invalid_argument(
         "decrypt_sharded: trailing ciphertext blocks after message end");
   }
 
-  util::SpanBitWriter sink(out.first(msg_bytes));
-  std::uint64_t written = 0;
-  for (const ExtractResult& r : results) {
-    const std::uint64_t take = std::min(r.bits, total_bits - written);
-    sink.append_bits(r.bytes, static_cast<std::size_t>(take));
-    written += take;
-    if (written == total_bits) break;
+  // Shard starts: (block index, cumulative bit offset) pairs with the
+  // offset byte-aligned. Each target is located by chunk prefix sum, then
+  // walked block-by-block to the first edge at or past it with offset % 8
+  // == 0; a boundary that cannot align before the message ends folds into
+  // the final shard instead.
+  struct DecStart {
+    std::uint64_t block = 0;
+    std::uint64_t bit = 0;
+  };
+  std::vector<DecStart> starts{{0, 0}};
+  for (std::uint64_t s = 1; s < n_eff; ++s) {
+    const std::uint64_t target = total_bits * s / n_eff;
+    if (target <= starts.back().bit) continue;
+    const auto ci = static_cast<std::size_t>(
+        std::upper_bound(cum.begin(), cum.end(), target) - cum.begin() - 1);
+    std::uint64_t bits = cum[ci];
+    std::uint64_t block = static_cast<std::uint64_t>(ci) * chunk_blocks;
+    while (block < n_blocks && (bits < target || bits % 8 != 0) && bits < total_bits) {
+      bits += static_cast<std::uint64_t>(width_at(block));
+      ++block;
+    }
+    if (bits % 8 != 0 || bits >= total_bits || block >= n_blocks) break;
+    starts.push_back({block, bits});
   }
-  sink.flush();
+
+  util::run_indexed(pool, starts.size(), [&](std::size_t s) {
+    const std::uint64_t block_begin = starts[s].block;
+    const std::uint64_t block_end = s + 1 < starts.size() ? starts[s + 1].block : n_blocks;
+    const std::uint64_t bit_begin = starts[s].bit;
+    const std::uint64_t bit_end = s + 1 < starts.size() ? starts[s + 1].bit : total_bits;
+    util::SpanBitWriter sink(out.subspan(static_cast<std::size_t>(bit_begin / 8),
+                                         static_cast<std::size_t>((bit_end - bit_begin + 7) / 8)));
+    std::size_t pair_idx = static_cast<std::size_t>(block_begin % pairs.size());
+    const std::uint8_t* src = cipher.data() + block_begin * static_cast<std::uint64_t>(bb);
+    std::uint64_t remaining = bit_end - bit_begin;
+    for (std::uint64_t b = block_begin; b < block_end && remaining > 0; ++b, src += bb) {
+      const std::uint64_t v = util::load_le(src, static_cast<int>(bb));
+      const detail::PairCtx& pc = pairs[pair_idx];
+      if (++pair_idx == pairs.size()) pair_idx = 0;
+      const ScrambledRange range = scramble_range(v, pc.pair, params);
+      // The cap only engages on the message-final shard (interior shard
+      // budgets are exact width sums); it is what skips trailing bits of
+      // the last block, exactly as the sequential extractor does.
+      const int w = static_cast<int>(
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(range.width()), remaining));
+      sink.write_bits(extract_bits_with_pattern(v, range.kn1, pc.pattern, w), w);
+      remaining -= static_cast<std::uint64_t>(w);
+    }
+    sink.flush();
+  });
 }
 
 }  // namespace

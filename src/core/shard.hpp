@@ -15,9 +15,10 @@
 //   * continuous policy — capacities are scanned in parallel chunks (each
 //     chunk worker jumps to its block range and sums scramble widths); a
 //     prefix walk over chunk capacities yields shard boundaries. Decryption
-//     needs no plan at all: capacities are recomputed from the ciphertext
-//     blocks themselves, so workers extract straight away and the caller
-//     splices their bit buffers in order.
+//     runs the same shape of pre-scan over the ciphertext blocks themselves
+//     (capacities are recomputed from them, no cover jump needed), snapping
+//     shard boundaries to byte-aligned bit offsets so every worker extracts
+//     straight into its disjoint slice of the caller's output span.
 //   * framed policy — the frame budget feeds back into per-block widths, so
 //     the scan is sequential (one cheap width pass), but boundaries land on
 //     frame starts and the embed/extract phase still runs fully parallel.
@@ -42,8 +43,9 @@ namespace mhhea::core {
 namespace detail {
 
 /// Cover vectors / ciphertext blocks a shard worker pulls per refill
-/// (mirrors the sequential cores' bounded look-ahead).
-inline constexpr std::size_t kShardFetchChunk = 256;
+/// (mirrors the sequential cores' bounded look-ahead, which is likewise
+/// sized so LFSR covers engage the backend's multi-lane next_blocks path).
+inline constexpr std::size_t kShardFetchChunk = 2048;
 
 /// The shared precondition check of every sharded entry point (MHHEA and
 /// HHEA, both forms): valid params, key-vs-params fit, n_shards >= 1.
@@ -166,9 +168,10 @@ std::size_t encrypt_sharded_into(std::span<const std::uint8_t> msg, const Key& k
 /// std::length_error when `out` is shorter than `msg_bytes`). Framed-policy
 /// shards start on frame boundaries — whole multiples of vector_bits bits,
 /// hence byte-aligned — so each worker writes its slice of `out` directly.
-/// Continuous-policy decryption has no plan (widths are recomputed from the
-/// blocks), so workers still extract into private bit buffers which are then
-/// spliced into `out`. Returns `msg_bytes`.
+/// Continuous-policy decryption first runs a parallel capacity pre-scan over
+/// the ciphertext blocks and snaps shard boundaries to byte-aligned bit
+/// offsets, so its workers likewise write disjoint slices of `out` with no
+/// per-worker buffers and no splice. Returns `msg_bytes`.
 std::size_t decrypt_sharded_into(std::span<const std::uint8_t> cipher, const Key& key,
                                  std::size_t msg_bytes, int n_shards,
                                  util::ThreadPool* pool, std::span<std::uint8_t> out,

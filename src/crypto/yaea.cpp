@@ -1,8 +1,9 @@
 #include "src/crypto/yaea.hpp"
 
 #include <algorithm>
-#include <array>
 #include <stdexcept>
+
+#include "src/util/bits.hpp"
 
 namespace mhhea::crypto {
 
@@ -26,26 +27,84 @@ std::uint8_t GeffeKeystream::next_byte() noexcept {
   return v;
 }
 
-void GeffeKeystream::next_bytes(std::span<std::uint8_t> out) {
-  std::size_t i = 0;
+void GeffeKeystream::next_bytes(std::span<std::uint8_t> out) { run(nullptr, out); }
+
+void GeffeKeystream::xor_bytes(std::span<const std::uint8_t> in,
+                               std::span<std::uint8_t> out) {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("GeffeKeystream::xor_bytes: span sizes differ");
+  }
+  run(in.data(), out);
+}
+
+void GeffeKeystream::ensure_lane_tables() {
+  if (lanes_ != nullptr) return;
+  auto lt = std::make_shared<LaneTables>();
+  lfsr::Lfsr* regs[3] = {&a_, &b_, &c_};
+  for (int r = 0; r < 3; ++r) {
+    lt->upd[r] = regs[r]->power_tables(64);
+    lt->lane[r] = regs[r]->power_tables(64 * backend::kGeffeLaneUnits);
+    lt->deg[r] = regs[r]->shared_leap_tables();
+    lt->kernel.deg[r] = lt->deg[r].get();
+    lt->kernel.upd[r] = &lt->upd[r];
+    lt->kernel.degree[r] = regs[r]->degree();
+  }
+  lanes_ = std::move(lt);
+}
+
+void GeffeKeystream::run(const std::uint8_t* in, std::span<std::uint8_t> out) {
+  static_assert(kDegreeA <= 24 && kDegreeB <= 24 && kDegreeC <= 24,
+                "the backend Geffe kernel applies three state bytes");
+  std::size_t done = 0;
+  // Lane route: split the run into contiguous lane-pass ranges and step all
+  // lanes' registers in lockstep on the active backend. Worth it from two
+  // lane-passes up; engages at 2 KiB runs and covers a 16 KiB message with
+  // exactly two full 8-lane passes.
+  const backend::Backend& be = backend::active();
+  const std::size_t lane_cap = be.lanes();
+  constexpr std::size_t kPassBytes = backend::kGeffeLaneUnits * 8;
+  if (lane_cap > 1 && out.size() >= 2 * kPassBytes) {
+    ensure_lane_tables();
+    std::uint32_t a[backend::kMaxLanes], b[backend::kMaxLanes], c[backend::kMaxLanes];
+    while (out.size() - done >= 2 * kPassBytes) {
+      const std::size_t lanes = std::min(lane_cap, (out.size() - done) / kPassBytes);
+      a[0] = static_cast<std::uint32_t>(a_.state());
+      b[0] = static_cast<std::uint32_t>(b_.state());
+      c[0] = static_cast<std::uint32_t>(c_.state());
+      // Lane l starts where lane l-1 will end: one lane-stride application
+      // per register, exact by GF(2) linearity.
+      for (std::size_t l = 1; l < lanes; ++l) {
+        a[l] = lanes_->lane[0].apply<3>(a[l - 1]);
+        b[l] = lanes_->lane[1].apply<3>(b[l - 1]);
+        c[l] = lanes_->lane[2].apply<3>(c[l - 1]);
+      }
+      be.geffe_units(lanes_->kernel, a, b, c, lanes, in != nullptr ? in + done : nullptr,
+                     out.data() + done, backend::kGeffeLaneUnits);
+      a_.set_state(a[lanes - 1]);
+      b_.set_state(b[lanes - 1]);
+      c_.set_state(c[lanes - 1]);
+      done += lanes * kPassBytes;
+    }
+  }
+  // Word-wise remainder: 64 bits per register through the step_bits leap
+  // machinery, one word-wise combine, XOR fused when `in` is given.
+  std::size_t i = done;
   for (; i + 8 <= out.size(); i += 8) {
     const std::uint64_t a = a_.step_bits(64);
     const std::uint64_t b = b_.step_bits(64);
     const std::uint64_t c = c_.step_bits(64);
-    const std::uint64_t z = (a & b) | (~a & c);
-    for (int k = 0; k < 8; ++k) {
-      out[i + static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(z >> (8 * k));
-    }
+    std::uint64_t z = (a & b) | (~a & c);
+    if (in != nullptr) z ^= util::load_le(in + i, 8);
+    util::store_le(out.data() + i, z, 8);
   }
   if (i < out.size()) {
     const int n = static_cast<int>(out.size() - i) * 8;
     const std::uint64_t a = a_.step_bits(n);
     const std::uint64_t b = b_.step_bits(n);
     const std::uint64_t c = c_.step_bits(n);
-    const std::uint64_t z = (a & b) | (~a & c);
-    for (int k = 0; i < out.size(); ++i, ++k) {
-      out[i] = static_cast<std::uint8_t>(z >> (8 * k));
-    }
+    std::uint64_t z = (a & b) | (~a & c);
+    if (in != nullptr) z ^= util::load_le(in + i, static_cast<int>(out.size() - i));
+    util::store_le(out.data() + i, z, static_cast<int>(out.size() - i));
   }
 }
 
@@ -62,6 +121,9 @@ void GeffeKeystream::warm() {
     r->jump(0);             // builds the one-step jump matrix
     r->set_state(s);
   }
+  // Lane tables only pay off on a multi-lane backend; a later backend
+  // switch still works — run() builds them lazily per instance then.
+  if (backend::active().lanes() > 1) ensure_lane_tables();
 }
 
 Yaea::Yaea(KeyType key, int shards)
@@ -96,16 +158,10 @@ std::size_t Yaea::encrypt_into(std::span<const std::uint8_t> msg,
     const std::size_t end = msg.size() * (s + 1) / n;
     GeffeKeystream ks = ks_proto_;
     ks.jump(static_cast<std::uint64_t>(begin) * 8);
-    // Bulk keystream through a stack chunk, then a vectorizable XOR pass per
-    // chunk — never into `out` directly, so `out` may alias `msg` (each byte
-    // of the input is read before its output byte is written).
-    std::array<std::uint8_t, 512> chunk;
-    for (std::size_t i = begin; i < end;) {
-      const std::size_t len = std::min(chunk.size(), end - i);
-      ks.next_bytes(std::span(chunk.data(), len));
-      for (std::size_t k = 0; k < len; ++k) out[i + k] = msg[i + k] ^ chunk[k];
-      i += len;
-    }
+    // Fused keystream-XOR straight between the caller's spans (no staging
+    // buffer): every kernel reads its input word before writing the output
+    // word at the same offset, so `out` may alias `msg` exactly.
+    ks.xor_bytes(msg.subspan(begin, end - begin), out.subspan(begin, end - begin));
   });
   return msg.size();
 }

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "src/backend/backend.hpp"
 #include "src/crypto/cipher.hpp"
 #include "src/lfsr/lfsr.hpp"
 #include "src/util/thread_pool.hpp"
@@ -47,7 +48,10 @@ class GeffeKeystream {
   [[nodiscard]] std::uint8_t next_byte() noexcept;
 
   /// Fill `out` with the next out.size() keystream bytes — the word-wide
-  /// hot path. Each iteration pulls 64 bits per register through the
+  /// hot path. Runs of at least two lane-passes route through the active
+  /// backend as independent lanes (each lane's three registers seeded by
+  /// one lane-stride table application, then all lanes stepped in
+  /// lockstep); the remainder pulls 64 bits per register through the
   /// Lfsr::step_bits leap machinery and combines them with one word-wise
   /// z = (a & b) | (~a & c), emitting 8 bytes at a time (LSB-first bit
   /// order makes byte k of the combined word keystream byte k). Bit-exact
@@ -56,21 +60,46 @@ class GeffeKeystream {
   /// span is a no-op.
   void next_bytes(std::span<std::uint8_t> out);
 
+  /// out = in XOR keystream, fused into the backend kernels (the YAEA-S
+  /// datapath: no intermediate keystream buffer). `in` and `out` must be
+  /// the same size (std::invalid_argument otherwise) and may be the same
+  /// span (in-place); partial overlap is not supported. Advances the
+  /// stream exactly like next_bytes(out).
+  void xor_bytes(std::span<const std::uint8_t> in, std::span<std::uint8_t> out);
+
   /// Advance the keystream by `n_bits` positions in O(log n) — every output
   /// bit consumes exactly one step of each component register, so the jump
   /// is three Lfsr::jump calls. This is what lets a shard worker seed its
   /// keystream at an arbitrary byte offset without replaying the stream.
   void jump(std::uint64_t n_bits);
 
-  /// Build the component registers' leap tables and jump matrices in place
-  /// without advancing the stream. Copies share the built tables, so warming
-  /// one long-lived prototype makes per-message/per-shard copies start on
-  /// the fast path immediately — the same amortization MhheaCipher applies
-  /// to its cover prototype.
+  /// Build the component registers' leap tables, jump matrices, and the
+  /// backend lane tables in place without advancing the stream. Copies
+  /// share the built tables, so warming one long-lived prototype makes
+  /// per-message/per-shard copies start on the fast path immediately — the
+  /// same amortization MhheaCipher applies to its cover prototype.
   void warm();
 
  private:
+  /// Precomputed linear maps for the backend Geffe kernel, shared across
+  /// copies: per component register, the 64-step window update U = M^64 and
+  /// the lane-stride seeding map M^(64 * backend::kGeffeLaneUnits); plus
+  /// borrowed pointers to the registers' own degree-leap tables, packaged
+  /// as the kernel argument.
+  struct LaneTables {
+    backend::LinearMapTables upd[3];
+    backend::LinearMapTables lane[3];
+    std::shared_ptr<const backend::LinearMapTables> deg[3];
+    backend::GeffeKernel kernel{};
+  };
+
+  void ensure_lane_tables();
+  /// Shared body of next_bytes (in == nullptr: raw keystream) and
+  /// xor_bytes (in: XOR source of out.size() bytes).
+  void run(const std::uint8_t* in, std::span<std::uint8_t> out);
+
   lfsr::Lfsr a_, b_, c_;
+  std::shared_ptr<const LaneTables> lanes_;  // built by warm(), shared by copies
 };
 
 /// 96-bit-keyed stream cipher: ciphertext = plaintext XOR keystream.

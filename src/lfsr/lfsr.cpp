@@ -1,10 +1,31 @@
 #include "src/lfsr/lfsr.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "src/backend/backend.hpp"
 #include "src/util/bits.hpp"
 
 namespace mhhea::lfsr {
+namespace {
+
+/// Expand transition-matrix columns (basis[b] = image of state bit b) to
+/// per-byte XOR tables by linearity: T[v] = T[v minus lowest bit] XOR
+/// basis[lowest bit]. Shared by the degree-leap and arbitrary-power builds.
+void expand_columns(const std::array<std::uint32_t, 32>& basis, int degree,
+                    backend::LinearMapTables& tables) {
+  for (int byte = 0; byte < 4; ++byte) {
+    auto& t = tables.t[static_cast<std::size_t>(byte)];
+    t[0] = 0;
+    for (unsigned v = 1; v < 256; ++v) {
+      const int bit = byte * 8 + std::countr_zero(v);
+      const std::uint32_t col = bit < degree ? basis[static_cast<std::size_t>(bit)] : 0;
+      t[v] = t[v & (v - 1)] ^ col;
+    }
+  }
+}
+
+}  // namespace
 
 Lfsr::Lfsr(Polynomial poly, std::uint64_t seed, Form form)
     : poly_(poly),
@@ -78,33 +99,61 @@ const Lfsr::StepMatrix& Lfsr::step_matrix() {
   return *step_m_;
 }
 
+std::uint32_t Lfsr::mat_vec(const StepMatrix& a, std::uint32_t v, int d) noexcept {
+  std::uint32_t r = 0;
+  while (v != 0) {
+    const int b = std::countr_zero(v);
+    if (b >= d) break;  // state is confined to the low d bits
+    r ^= a[static_cast<std::size_t>(b)];
+    v &= v - 1;
+  }
+  return r;
+}
+
 void Lfsr::jump(std::uint64_t n) {
   const int d = poly_.degree;
   StepMatrix m = step_matrix();
-  const auto mat_vec = [d](const StepMatrix& a, std::uint32_t v) {
-    std::uint32_t r = 0;
-    while (v != 0) {
-      const int b = std::countr_zero(v);
-      if (b >= d) break;  // state is confined to the low d bits
-      r ^= a[static_cast<std::size_t>(b)];
-      v &= v - 1;
-    }
-    return r;
-  };
   // Square-and-multiply: fold M^(2^k) into the state for each set bit of n.
   std::uint32_t s = static_cast<std::uint32_t>(state_);
   while (n != 0) {
-    if ((n & 1) != 0) s = mat_vec(m, s);
+    if ((n & 1) != 0) s = mat_vec(m, s, d);
     n >>= 1;
     if (n != 0) {
       StepMatrix sq{};
       for (int j = 0; j < d; ++j) {
-        sq[static_cast<std::size_t>(j)] = mat_vec(m, m[static_cast<std::size_t>(j)]);
+        sq[static_cast<std::size_t>(j)] = mat_vec(m, m[static_cast<std::size_t>(j)], d);
       }
       m = sq;
     }
   }
   state_ = s;
+}
+
+backend::LinearMapTables Lfsr::power_tables(std::uint64_t steps) {
+  const int d = poly_.degree;
+  StepMatrix m = step_matrix();
+  // Square-and-multiply on whole matrices: r starts as the identity and
+  // accumulates M^(2^k) for each set bit of `steps`.
+  std::array<std::uint32_t, 32> r{};
+  for (int b = 0; b < d; ++b) r[static_cast<std::size_t>(b)] = std::uint32_t{1} << b;
+  while (steps != 0) {
+    if ((steps & 1) != 0) {
+      for (int j = 0; j < d; ++j) {
+        r[static_cast<std::size_t>(j)] = mat_vec(m, r[static_cast<std::size_t>(j)], d);
+      }
+    }
+    steps >>= 1;
+    if (steps != 0) {
+      StepMatrix sq{};
+      for (int j = 0; j < d; ++j) {
+        sq[static_cast<std::size_t>(j)] = mat_vec(m, m[static_cast<std::size_t>(j)], d);
+      }
+      m = sq;
+    }
+  }
+  backend::LinearMapTables out;
+  expand_columns(r, d, out);
+  return out;
 }
 
 const Lfsr::LeapTables& Lfsr::leap_tables() {
@@ -119,46 +168,54 @@ const Lfsr::LeapTables& Lfsr::leap_tables() {
       probe.advance(static_cast<std::uint64_t>(poly_.degree));
       basis[static_cast<std::size_t>(b)] = static_cast<std::uint32_t>(probe.state_);
     }
-    // Expand to per-byte tables by linearity: T[v] = T[v minus lowest bit]
-    // XOR basis[lowest bit].
-    for (int byte = 0; byte < 4; ++byte) {
-      auto& t = (*tables)[static_cast<std::size_t>(byte)];
-      t[0] = 0;
-      for (unsigned v = 1; v < 256; ++v) {
-        const int bit = byte * 8 + std::countr_zero(v);
-        const std::uint32_t col =
-            bit < poly_.degree ? basis[static_cast<std::size_t>(bit)] : 0;
-        t[v] = t[v & (v - 1)] ^ col;
-      }
-    }
+    expand_columns(basis, poly_.degree, *tables);
     leap_ = std::move(tables);
   }
   return *leap_;
 }
 
+std::shared_ptr<const backend::LinearMapTables> Lfsr::shared_leap_tables() {
+  (void)leap_tables();
+  return leap_;
+}
+
 std::uint64_t Lfsr::next_block() {
   const LeapTables& t = leap_tables();
   const auto s = static_cast<std::uint32_t>(state_);
-  std::uint32_t next = t[0][s & 0xFF] ^ t[1][(s >> 8) & 0xFF];
-  if (poly_.degree > 16) next ^= t[2][(s >> 16) & 0xFF] ^ t[3][s >> 24];
-  state_ = next;
+  state_ = poly_.degree <= 16 ? t.apply<2>(s) : t.apply<4>(s);
   return state_;
 }
 
 void Lfsr::next_blocks(std::span<std::uint64_t> out) {
   const LeapTables& t = leap_tables();
+  std::size_t done = 0;
+  // Lane route: worth it from two lane-passes up (below that the seeding
+  // application per lane outweighs the lockstep win).
+  const backend::Backend& be = backend::active();
+  const std::size_t lane_cap = be.lanes();
+  constexpr std::size_t kPass = backend::kLfsrLaneBlocks;
+  if (lane_cap > 1 && out.size() >= 2 * kPass) {
+    if (lane_adv_ == nullptr) {
+      lane_adv_ = std::make_shared<const LeapTables>(
+          power_tables(kPass * static_cast<std::uint64_t>(poly_.degree)));
+    }
+    std::uint32_t states[backend::kMaxLanes];
+    while (out.size() - done >= 2 * kPass) {
+      const std::size_t lanes = std::min(lane_cap, (out.size() - done) / kPass);
+      // Lane l starts where lane l-1 will end: one lane-stride application
+      // per seed, exact by GF(2) linearity (no replay, no O(log n) jump).
+      states[0] = static_cast<std::uint32_t>(state_);
+      for (std::size_t l = 1; l < lanes; ++l) states[l] = lane_adv_->apply(states[l - 1]);
+      be.lfsr_blocks(t, poly_.degree, states, lanes, out.data() + done, kPass);
+      state_ = states[lanes - 1];  // final block of the last lane
+      done += lanes * kPass;
+    }
+  }
   auto s = static_cast<std::uint32_t>(state_);
   if (poly_.degree <= 16) {
-    for (std::uint64_t& b : out) {
-      s = t[0][s & 0xFF] ^ t[1][s >> 8];
-      b = s;
-    }
+    for (std::uint64_t& b : out.subspan(done)) b = s = t.apply<2>(s);
   } else {
-    for (std::uint64_t& b : out) {
-      s = t[0][s & 0xFF] ^ t[1][(s >> 8) & 0xFF] ^ t[2][(s >> 16) & 0xFF] ^
-          t[3][s >> 24];
-      b = s;
-    }
+    for (std::uint64_t& b : out.subspan(done)) b = s = t.apply<4>(s);
   }
   state_ = s;
 }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 
+#include "src/backend/tables.hpp"
 #include "src/lfsr/polynomials.hpp"
 
 namespace mhhea::lfsr {
@@ -77,6 +78,14 @@ class Lfsr {
   /// Fill `out` with successive next_block() values (the word-at-a-time
   /// hiding-vector port: one table-lookup chain per block, no per-call
   /// dispatch).
+  ///
+  /// Spans of at least two lane-passes (2 * backend::kLfsrLaneBlocks
+  /// blocks) route through the active backend: the span is split into
+  /// contiguous lanes, each lane's start state seeded by one application of
+  /// the precomputed lane-stride map (M^(kLfsrLaneBlocks * degree)), and
+  /// all lanes stepped in lockstep — 8 per AVX2 register. Bit-identical to
+  /// the serial chain for every span size and backend, including the state
+  /// left behind.
   void next_blocks(std::span<std::uint64_t> out);
 
   /// Jump to an explicit state (low `degree` bits; must be non-zero after
@@ -94,15 +103,30 @@ class Lfsr {
     return (std::uint64_t{1} << poly_.degree) - 1;
   }
 
+  /// The degree-step leap tables as shared plain data — what the backend
+  /// kernels gather from. Built lazily (first call pays the probe +
+  /// expansion; copies share the result). The paper's normative register is
+  /// still step(): these tables are derived from it, never the reverse.
+  [[nodiscard]] std::shared_ptr<const backend::LinearMapTables> shared_leap_tables();
+
+  /// Byte tables of the `steps`-step transition map M^steps, built by
+  /// square-and-multiply on the probed one-step matrix — the general form
+  /// of the leap tables (steps == degree). This is how the Geffe kernel's
+  /// 64-step update map and the lane-stride seeding maps are made; each
+  /// call builds fresh tables (callers cache what they keep).
+  [[nodiscard]] backend::LinearMapTables power_tables(std::uint64_t steps);
+
  private:
   /// Per-byte leap tables: state after `degree` steps is the XOR of
   /// leap[b][byte b of state] over the (up to 4) state bytes.
-  using LeapTables = std::array<std::array<std::uint32_t, 256>, 4>;
+  using LeapTables = backend::LinearMapTables;
   /// Columns of the one-step transition matrix (jump's starting point).
   using StepMatrix = std::array<std::uint32_t, 32>;
 
   const LeapTables& leap_tables();
   const StepMatrix& step_matrix();
+  /// M applied to basis columns: r[j] <- a * v for each state bit j.
+  static std::uint32_t mat_vec(const StepMatrix& a, std::uint32_t v, int d) noexcept;
 
   Polynomial poly_;
   Form form_;
@@ -111,6 +135,9 @@ class Lfsr {
   std::uint64_t state_;
   std::shared_ptr<const LeapTables> leap_;    // built lazily, shared by copies
   std::shared_ptr<const StepMatrix> step_m_;  // built lazily, shared by copies
+  /// Lane seeding map M^(backend::kLfsrLaneBlocks * degree) for multi-lane
+  /// next_blocks; built lazily on the first span large enough to use it.
+  std::shared_ptr<const LeapTables> lane_adv_;
 };
 
 /// The paper's hiding-vector generator: degree-16 primitive LFSR, Fibonacci

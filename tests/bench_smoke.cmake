@@ -21,6 +21,14 @@ endif()
 
 file(READ "${OUT_JSON}" doc)
 string(JSON n_results LENGTH "${doc}" results)  # FATAL_ERROR on invalid JSON
+
+# The artifact must name the keystream engine that produced it, both in the
+# host block and on every result row (FATAL_ERROR if either is missing).
+string(JSON host_backend GET "${doc}" host backend)
+string(JSON host_avx2 GET "${doc}" host cpu_avx2)
+if(NOT host_backend MATCHES "^(scalar|avx2)$")
+  message(FATAL_ERROR "bench_smoke: host.backend is \"${host_backend}\", expected scalar or avx2")
+endif()
 # 5 ciphers x 3 sizes x 4 dir/api cells at threads=1 shards=1.
 if(n_results LESS 60)
   message(FATAL_ERROR "bench_smoke: expected >= 60 result cells, got ${n_results}")
@@ -32,6 +40,10 @@ foreach(i RANGE ${last})
   string(JSON cipher GET "${doc}" results ${i} cipher)
   string(JSON mbps GET "${doc}" results ${i} mb_per_s_mean)
   string(JSON expansion GET "${doc}" results ${i} expansion)
+  string(JSON row_backend GET "${doc}" results ${i} backend)
+  if(NOT row_backend STREQUAL host_backend)
+    message(FATAL_ERROR "bench_smoke: cell ${i} backend \"${row_backend}\" != host \"${host_backend}\"")
+  endif()
   if(NOT mbps GREATER 0)
     message(FATAL_ERROR "bench_smoke: ${cipher} cell ${i} has non-positive MB/s: ${mbps}")
   endif()
