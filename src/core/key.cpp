@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/util/rng.hpp"
+#include "src/util/secret.hpp"
 
 namespace mhhea::core {
 
@@ -26,6 +27,28 @@ void validate_pairs(std::span<const KeyPair> pairs, const BlockParams& params) {
 Key::Key(std::vector<KeyPair> pairs, const BlockParams& params) : pairs_(std::move(pairs)) {
   validate_pairs(pairs_, params);
 }
+
+void Key::wipe_storage() noexcept {
+  util::secure_wipe(pairs_.data(), pairs_.size() * sizeof(KeyPair));
+}
+
+Key& Key::operator=(const Key& other) {
+  if (this != &other) {
+    wipe_storage();  // the old key must not linger if the vector reallocates
+    pairs_ = other.pairs_;
+  }
+  return *this;
+}
+
+Key& Key::operator=(Key&& other) noexcept {
+  if (this != &other) {
+    wipe_storage();
+    pairs_ = std::move(other.pairs_);
+  }
+  return *this;
+}
+
+Key::~Key() { wipe_storage(); }
 
 Key Key::parse(std::string_view text, const BlockParams& params) {
   std::vector<KeyPair> pairs;

@@ -49,6 +49,16 @@ class Key {
   /// <= params.max_key_value(). Throws std::invalid_argument on violation.
   explicit Key(std::vector<KeyPair> pairs, const BlockParams& params = BlockParams::paper());
 
+  // The pair matrix is the MHHEA secret key, so its heap storage is wiped
+  // (util::secure_wipe) before the vector releases it — on destruction and
+  // on reassignment (pinned by the freed-storage scan in secret_wipe_test).
+  // Copies are allowed; each owner wipes its own storage.
+  Key(const Key&) = default;
+  Key(Key&&) noexcept = default;
+  Key& operator=(const Key& other);
+  Key& operator=(Key&& other) noexcept;
+  ~Key();
+
   /// Parse "a-b,c-d,..." (e.g. "0-3,2-5,7-1"). Whitespace is ignored.
   [[nodiscard]] static Key parse(std::string_view text,
                                  const BlockParams& params = BlockParams::paper());
@@ -80,7 +90,10 @@ class Key {
   friend bool operator==(const Key&, const Key&) = default;
 
  private:
-  std::vector<KeyPair> pairs_;
+  /// Zero the current pair storage in place (not the vector's size).
+  void wipe_storage() noexcept;
+
+  std::vector<KeyPair> pairs_;  // [[mhhea::secret]] the location matrix K[L][2]
 };
 
 }  // namespace mhhea::core

@@ -17,6 +17,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "src/util/secret.hpp"
+
 namespace mhhea::crypto {
 
 /// Thrown when an authenticated container's MAC does not verify. Derives
@@ -54,9 +56,15 @@ using MacTag = std::array<std::uint8_t, kMacBytes>;
 /// domain-separation labels, and each message's cover seed is derived from
 /// the seed subkey plus the message nonce — so a long-lived key seals many
 /// messages without ever reusing cover keystream.
+/// Key material passed into / produced by the schedule. Subkeys live in
+/// SecretBytes so they are wiped wherever a schedule (or a cipher holding
+/// one) is destroyed; SecretBytes converts to `const MacKey&`, so the
+/// siphash entry points below are unchanged.
+using SecretMacKey = util::SecretBytes<kMacKeyBytes>;
+
 struct V2KeySchedule {
-  MacKey mac_key{};   // authenticates header || ciphertext
-  MacKey seed_key{};  // derives the per-nonce cover seed
+  SecretMacKey mac_key{};   // [[mhhea::secret]] authenticates header || ciphertext
+  SecretMacKey seed_key{};  // [[mhhea::secret]] derives the per-nonce cover seed
 
   /// Expand a caller-provided master secret (non-empty, any length;
   /// compressed to 128 bits first when longer than kMacKeyBytes).

@@ -8,6 +8,7 @@
 #include "src/core/cover.hpp"
 #include "src/core/frame.hpp"
 #include "src/core/shard.hpp"
+#include "src/util/secret.hpp"
 
 namespace mhhea::crypto {
 
@@ -81,6 +82,8 @@ MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, const V2KeySchedule&
     pool_ = std::make_unique<util::ThreadPool>(workers);
   }
 }
+
+MhheaCipher::~MhheaCipher() { util::secure_wipe_object(seed_); }
 
 std::uint64_t MhheaCipher::v2_cover_seed(std::uint64_t nonce) const {
   // The cover LFSR's degree caps the usable seed bits (64-bit vectors run a

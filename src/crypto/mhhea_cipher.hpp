@@ -75,6 +75,13 @@ class MhheaCipher final : public Cipher {
   MhheaCipher(core::Key key, const V2KeySchedule& schedule, core::BlockParams params,
               Framing framing, int shards = 1);
 
+  MhheaCipher(MhheaCipher&&) noexcept = default;
+  MhheaCipher& operator=(MhheaCipher&&) noexcept = default;
+  /// Wipes the stored seed — under sealed_v2 it is the schedule master, so
+  /// it must not outlive the cipher (key_ and sched_ wipe themselves; copies
+  /// were already excluded by the unique_ptr shard state).
+  ~MhheaCipher() override;
+
   [[nodiscard]] std::string name() const override {
     switch (framing_) {
       case Framing::sealed: return "MHHEA-sealed";
@@ -154,8 +161,8 @@ class MhheaCipher final : public Cipher {
   void set_nonce(std::uint64_t nonce);
   void require_v2(const char* what) const;
 
-  core::Key key_;
-  std::uint64_t seed_;
+  core::Key key_;       // [[mhhea::secret]] the hiding key (self-wiping)
+  std::uint64_t seed_;  // [[mhhea::secret]] v2 schedule master; a nonce otherwise
   core::BlockParams params_;
   Framing framing_;
   int shards_;

@@ -4,9 +4,16 @@
 #include <stdexcept>
 
 #include "src/util/bits.hpp"
+#include "src/util/secret.hpp"
 
 namespace mhhea::crypto {
 
+
+GeffeKeystream::~GeffeKeystream() {
+  a_.wipe_state();
+  b_.wipe_state();
+  c_.wipe_state();
+}
 
 GeffeKeystream::GeffeKeystream(std::uint32_t seed_a, std::uint32_t seed_b,
                                std::uint32_t seed_c)
@@ -139,6 +146,8 @@ Yaea::Yaea(KeyType key, int shards)
   const int workers = std::min(shards_, util::resolve_parallelism(0, "Yaea"));
   if (shards_ > 1 && workers > 1) pool_ = std::make_unique<util::ThreadPool>(workers);
 }
+
+Yaea::~Yaea() { util::secure_wipe_object(key_); }
 
 std::size_t Yaea::encrypt_into(std::span<const std::uint8_t> msg,
                                std::span<std::uint8_t> out) {

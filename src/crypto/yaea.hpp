@@ -42,6 +42,17 @@ class GeffeKeystream {
   /// Seeds must be non-zero in the low degree bits. Throws otherwise.
   GeffeKeystream(std::uint32_t seed_a, std::uint32_t seed_b, std::uint32_t seed_c);
 
+  // The three register states ARE the 96-bit YAEA-S key (unlike the MHHEA
+  // cover seed, which is a nonce — cover.hpp), so every keystream instance
+  // wipes them on destruction. Copies are the per-call/per-shard working
+  // pattern and each wipes its own states; the shared leap tables they
+  // carry are key-independent public data.
+  GeffeKeystream(const GeffeKeystream&) = default;
+  GeffeKeystream& operator=(const GeffeKeystream&) = default;
+  GeffeKeystream(GeffeKeystream&&) noexcept = default;
+  GeffeKeystream& operator=(GeffeKeystream&&) noexcept = default;
+  ~GeffeKeystream();
+
   /// One keystream bit.
   [[nodiscard]] bool next_bit() noexcept;
   /// One keystream byte (8 bits, LSB first).
@@ -98,7 +109,7 @@ class GeffeKeystream {
   /// xor_bytes (in: XOR source of out.size() bytes).
   void run(const std::uint8_t* in, std::span<std::uint8_t> out);
 
-  lfsr::Lfsr a_, b_, c_;
+  lfsr::Lfsr a_, b_, c_;  // [[mhhea::secret]] register states are the key
   std::shared_ptr<const LaneTables> lanes_;  // built by warm(), shared by copies
 };
 
@@ -118,6 +129,11 @@ class Yaea final : public Cipher {
   };
 
   explicit Yaea(KeyType key, int shards = 1);
+  Yaea(Yaea&&) noexcept = default;
+  Yaea& operator=(Yaea&&) noexcept = default;
+  /// Wipes the stored key seeds (the keystream prototype wipes its own
+  /// register states; copies were already excluded by the pool handle).
+  ~Yaea() override;
 
   [[nodiscard]] std::string name() const override { return "YAEA-S"; }
   /// Keystream XOR straight from `msg` to `out`, chunked through a stack
@@ -143,7 +159,7 @@ class Yaea final : public Cipher {
   [[nodiscard]] int shards() const noexcept { return shards_; }
 
  private:
-  KeyType key_;
+  KeyType key_;  // [[mhhea::secret]] the three Geffe seeds
   int shards_;
   /// Pristine keystream at the seed state with warmed tables; every call
   /// copies it (cheap — tables are shared) instead of re-deriving them.

@@ -5,6 +5,7 @@
 
 #include "src/backend/backend.hpp"
 #include "src/util/bits.hpp"
+#include "src/util/secret.hpp"
 
 namespace mhhea::lfsr {
 namespace {
@@ -227,6 +228,8 @@ void Lfsr::set_state(std::uint64_t state) {
   }
   state_ = state;
 }
+
+void Lfsr::wipe_state() noexcept { util::secure_wipe_object(state_); }
 
 Lfsr make_hiding_vector_lfsr(std::uint16_t seed) {
   return Lfsr(primitive_polynomial(16), seed, Lfsr::Form::fibonacci);

@@ -93,6 +93,14 @@ class Lfsr {
   /// re-seed without rebuilding the leap tables.
   void set_state(std::uint64_t state);
 
+  /// Zero the register state with a non-elidable store (util::secure_wipe).
+  /// For key-bearing registers (the Geffe components, whose seeds ARE the
+  /// YAEA-S key) the owner calls this on destruction; cover registers don't
+  /// need it — their seed is a nonce, not key material (see cover.hpp). The
+  /// register is unusable afterwards (state 0 is the parked state) until
+  /// set_state() re-seeds it.
+  void wipe_state() noexcept;
+
   [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
   [[nodiscard]] int degree() const noexcept { return poly_.degree; }
   [[nodiscard]] Form form() const noexcept { return form_; }
