@@ -302,11 +302,12 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
      << ", \"hardware_concurrency\": " << std::thread::hardware_concurrency() << "},\n";
   // Aggregate batch scaling per cipher: total best-rep throughput across
   // message sizes at max_threads over the same at one thread (both at
-  // shards=1). Only emitted when a multi-thread column was actually swept —
-  // on a single-core host the sweep is {1} and a "speedup" would be
-  // meaningless noise.
+  // shards=1). When the thread sweep clamped to a single column (1-core
+  // host), each cipher reports the exact single-thread ratio 1.0 and the
+  // sibling "batch_speedup_clamped" flag is true — downstream tooling gets
+  // every cipher key on every host instead of a silently empty object.
   os << "  \"batch_speedup\": {";
-  if (max_threads > 1) {
+  {
     std::map<std::string, std::array<double, 2>> sums;
     for (const auto& c : cells) {
       if (c.shards != 1 || c.dir != Dir::encrypt || c.api != Api::alloc) continue;
@@ -314,19 +315,23 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
     }
     bool first = true;
     for (const auto& [name, s] : sums) {
-      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": "
-         << (s[0] > 0.0 ? s[1] / s[0] : 0.0);
+      const double ratio =
+          max_threads > 1 ? (s[0] > 0.0 ? s[1] / s[0] : 0.0) : 1.0;
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": " << ratio;
       first = false;
     }
   }
   os << "},\n";
+  os << "  \"batch_speedup_clamped\": " << (max_threads > 1 ? "false" : "true")
+     << ",\n";
   // Aggregate intra-message scaling per cipher: for each shard count, total
   // best-rep throughput over the shards=1 total across the SAME message
   // sizes, at threads=1; report the best count's ratio. A (size, shards)
   // cell only counts when size >= shards * kMinShardMsgBytes — below that
   // the adapters' per-shard minimum clamps the effective count, so the cell
   // times a partly or fully sequential path and would dilute the metric
-  // toward 1. Same single-core caveat as above.
+  // toward 1. Same single-column treatment as batch_speedup: a clamped sweep
+  // reports 1.0 per cipher plus "shard_speedup_clamped": true.
   os << "  \"shard_speedup\": {";
   if (max_shards > 1) {
     // cipher -> shards -> msg_bytes -> best-rep MB/s (threads=1 cells only)
@@ -357,8 +362,21 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
       os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": " << best;
       first = false;
     }
+  } else {
+    std::map<std::string, bool> names;
+    for (const auto& c : cells) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt && c.api == Api::alloc)
+        names[c.cipher] = true;
+    }
+    bool first = true;
+    for (const auto& [name, unused] : names) {
+      (void)unused;
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": 1";
+      first = false;
+    }
   }
   os << "},\n";
+  os << "  \"shard_speedup_clamped\": " << (max_shards > 1 ? "false" : "true") << ",\n";
   // Per-cipher decrypt throughput (sequential alloc column, mean across
   // sizes): the decrypt counterpart of the headline encrypt rows.
   os << "  \"decrypt_mb_per_s\": {";

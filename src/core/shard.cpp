@@ -60,7 +60,7 @@ ChunkCap scan_chunk(const CoverSource& proto, const std::vector<detail::PairCtx>
 std::vector<ShardRange> plan_continuous(const CoverSource& proto,
                                         const std::vector<detail::PairCtx>& pairs,
                                         const BlockParams& params, std::uint64_t total_bits,
-                                        std::size_t n_shards, util::ThreadPool* pool) {
+                                        std::size_t n_shards, exec::Executor* ex) {
   // Chunk size: aim for a few chunks per shard (balance) without degrading
   // to per-block dispatch; ~3 bits/block is the seed-measured mean capacity.
   const std::uint64_t est_blocks = total_bits / 3 + 1;
@@ -75,7 +75,7 @@ std::vector<ShardRange> plan_continuous(const CoverSource& proto,
     const auto n_new = static_cast<std::size_t>(deficit / (3 * chunk_blocks) + 1);
     const std::size_t base = chunks.size();
     chunks.resize(base + n_new);
-    util::run_indexed(pool, n_new, [&](std::size_t i) {
+    exec::run_indexed(ex, n_new, [&](std::size_t i) {
       const std::uint64_t begin = static_cast<std::uint64_t>(base + i) * chunk_blocks;
       chunks[base + i] = scan_chunk(proto, pairs, params, begin, chunk_blocks);
     });
@@ -315,7 +315,7 @@ struct EncryptPlan {
 
 EncryptPlan make_encrypt_plan(std::span<const std::uint8_t> msg, const Key& key,
                               const CoverSource& cover, int n_shards,
-                              util::ThreadPool* pool, const BlockParams& params) {
+                              exec::Executor* ex, const BlockParams& params) {
   EncryptPlan plan;
   plan.pairs = detail::make_pair_ctx(key, params);
   const auto total_bits = static_cast<std::uint64_t>(msg.size()) * 8;
@@ -324,7 +324,7 @@ EncryptPlan make_encrypt_plan(std::span<const std::uint8_t> msg, const Key& key,
           ? plan_framed(cover, plan.pairs, params, total_bits,
                         static_cast<std::size_t>(n_shards))
           : plan_continuous(cover, plan.pairs, params, total_bits,
-                            static_cast<std::size_t>(n_shards), pool);
+                            static_cast<std::size_t>(n_shards), ex);
   return plan;
 }
 
@@ -332,13 +332,13 @@ EncryptPlan make_encrypt_plan(std::span<const std::uint8_t> msg, const Key& key,
 /// encrypt_range throws std::length_error when a slice would not fit).
 /// Returns the ciphertext bytes actually written.
 std::size_t run_encrypt_sharded(const EncryptPlan& plan, std::span<const std::uint8_t> msg,
-                                const CoverSource& cover, util::ThreadPool* pool,
+                                const CoverSource& cover, exec::Executor* ex,
                                 std::span<std::uint8_t> out, const BlockParams& params) {
   const auto bb = static_cast<std::uint64_t>(params.block_bytes());
   const std::uint64_t out_blocks = static_cast<std::uint64_t>(out.size()) / bb;
   const std::vector<ShardRange>& ranges = plan.ranges;
   std::vector<std::uint64_t> emitted(ranges.size(), 0);
-  util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+  exec::run_indexed(ex, ranges.size(), [&](std::size_t s) {
     const std::uint64_t capacity =
         out_blocks > ranges[s].block_begin ? out_blocks - ranges[s].block_begin : 0;
     emitted[s] =
@@ -356,7 +356,7 @@ using detail::validate_sharded;
 /// Shared decrypt driver: extract `cipher` into `out` (first msg_bytes
 /// bytes). See decrypt_sharded_into for the per-policy write strategy.
 void run_decrypt_sharded(std::span<const std::uint8_t> cipher, const Key& key,
-                         std::size_t msg_bytes, int n_shards, util::ThreadPool* pool,
+                         std::size_t msg_bytes, int n_shards, exec::Executor* ex,
                          std::span<std::uint8_t> out, const BlockParams& params) {
   const auto bb = static_cast<std::size_t>(params.block_bytes());
   if (cipher.size() % bb != 0) {
@@ -381,7 +381,7 @@ void run_decrypt_sharded(std::span<const std::uint8_t> cipher, const Key& key,
     const std::vector<ShardRange> ranges = plan_framed_decrypt(
         cipher, pairs, params, total_bits, static_cast<std::size_t>(n_shards));
     std::vector<std::uint64_t> bits(ranges.size(), 0);
-    util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+    exec::run_indexed(ex, ranges.size(), [&](std::size_t s) {
       const ShardRange& r = ranges[s];
       assert(r.bit_begin % 8 == 0);
       const std::size_t byte_begin = static_cast<std::size_t>(r.bit_begin / 8);
@@ -422,7 +422,7 @@ void run_decrypt_sharded(std::span<const std::uint8_t> cipher, const Key& key,
       std::clamp<std::uint64_t>(n_blocks / (4 * n_eff) + 1, 64, 8192);
   const auto n_chunks = static_cast<std::size_t>((n_blocks + chunk_blocks - 1) / chunk_blocks);
   std::vector<std::uint64_t> cum(n_chunks + 1, 0);  // bits before chunk i
-  util::run_indexed(pool, n_chunks, [&](std::size_t i) {
+  exec::run_indexed(ex, n_chunks, [&](std::size_t i) {
     const std::uint64_t begin = static_cast<std::uint64_t>(i) * chunk_blocks;
     const std::uint64_t end = std::min(n_blocks, begin + chunk_blocks);
     std::uint64_t bits = 0;
@@ -469,7 +469,7 @@ void run_decrypt_sharded(std::span<const std::uint8_t> cipher, const Key& key,
     starts.push_back({block, bits});
   }
 
-  util::run_indexed(pool, starts.size(), [&](std::size_t s) {
+  exec::run_indexed(ex, starts.size(), [&](std::size_t s) {
     const std::uint64_t block_begin = starts[s].block;
     const std::uint64_t block_end = s + 1 < starts.size() ? starts[s + 1].block : n_blocks;
     const std::uint64_t bit_begin = starts[s].bit;
@@ -500,7 +500,7 @@ void run_decrypt_sharded(std::span<const std::uint8_t> cipher, const Key& key,
 
 std::vector<std::uint8_t> encrypt_sharded(std::span<const std::uint8_t> msg, const Key& key,
                                           const CoverSource& cover, int n_shards,
-                                          util::ThreadPool* pool, BlockParams params) {
+                                          exec::Executor* ex, BlockParams params) {
   validate_sharded(key, n_shards, params, "encrypt_sharded");
   if (msg.empty()) return {};
   if (n_shards == 1) {
@@ -511,17 +511,17 @@ std::vector<std::uint8_t> encrypt_sharded(std::span<const std::uint8_t> msg, con
     enc.feed(msg);
     return enc.cipher_bytes();
   }
-  const EncryptPlan plan = make_encrypt_plan(msg, key, cover, n_shards, pool, params);
+  const EncryptPlan plan = make_encrypt_plan(msg, key, cover, n_shards, ex, params);
   std::vector<std::uint8_t> out(static_cast<std::size_t>(
       plan.max_blocks() * static_cast<std::uint64_t>(params.block_bytes())));
-  const std::size_t n = run_encrypt_sharded(plan, msg, cover, pool, out, params);
+  const std::size_t n = run_encrypt_sharded(plan, msg, cover, ex, out, params);
   out.resize(n);
   return out;
 }
 
 std::size_t encrypt_sharded_into(std::span<const std::uint8_t> msg, const Key& key,
                                  const CoverSource& cover, int n_shards,
-                                 util::ThreadPool* pool, std::span<std::uint8_t> out,
+                                 exec::Executor* ex, std::span<std::uint8_t> out,
                                  BlockParams params) {
   validate_sharded(key, n_shards, params, "encrypt_sharded_into");
   if (msg.empty()) return 0;
@@ -531,24 +531,24 @@ std::size_t encrypt_sharded_into(std::span<const std::uint8_t> msg, const Key& k
     Encryptor enc(key, std::move(c), params);
     return enc.encrypt_into(msg, out);
   }
-  const EncryptPlan plan = make_encrypt_plan(msg, key, cover, n_shards, pool, params);
-  return run_encrypt_sharded(plan, msg, cover, pool, out, params);
+  const EncryptPlan plan = make_encrypt_plan(msg, key, cover, n_shards, ex, params);
+  return run_encrypt_sharded(plan, msg, cover, ex, out, params);
 }
 
 std::vector<std::uint8_t> decrypt_sharded(std::span<const std::uint8_t> cipher,
                                           const Key& key, std::size_t msg_bytes,
-                                          int n_shards, util::ThreadPool* pool,
+                                          int n_shards, exec::Executor* ex,
                                           BlockParams params) {
   validate_sharded(key, n_shards, params, "decrypt_sharded");
   if (n_shards == 1) return decrypt(cipher, key, msg_bytes, params);
   std::vector<std::uint8_t> msg(msg_bytes);
-  run_decrypt_sharded(cipher, key, msg_bytes, n_shards, pool, msg, params);
+  run_decrypt_sharded(cipher, key, msg_bytes, n_shards, ex, msg, params);
   return msg;
 }
 
 std::size_t decrypt_sharded_into(std::span<const std::uint8_t> cipher, const Key& key,
                                  std::size_t msg_bytes, int n_shards,
-                                 util::ThreadPool* pool, std::span<std::uint8_t> out,
+                                 exec::Executor* ex, std::span<std::uint8_t> out,
                                  BlockParams params) {
   validate_sharded(key, n_shards, params, "decrypt_sharded_into");
   if (out.size() < msg_bytes) {
@@ -558,7 +558,7 @@ std::size_t decrypt_sharded_into(std::span<const std::uint8_t> cipher, const Key
     Decryptor dec(key, static_cast<std::uint64_t>(msg_bytes) * 8, params);
     return dec.decrypt_into(cipher, static_cast<std::uint64_t>(msg_bytes) * 8, out);
   }
-  run_decrypt_sharded(cipher, key, msg_bytes, n_shards, pool, out, params);
+  run_decrypt_sharded(cipher, key, msg_bytes, n_shards, ex, out, params);
   return msg_bytes;
 }
 

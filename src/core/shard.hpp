@@ -36,7 +36,7 @@
 #include "src/core/cover.hpp"
 #include "src/core/key.hpp"
 #include "src/core/params.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 namespace mhhea::core {
 
@@ -140,12 +140,12 @@ std::vector<ShardRange> plan_framed_walk(const BlockParams& params,
 /// Encryptor fed in one shot) for every shard count. `cover` is a prototype:
 /// each worker derives its own via clone() + reset() + skip_blocks, so the
 /// source must be clonable and resettable (LfsrCover and BufferCover are).
-/// `pool` may be null — shards then run inline on the calling thread, same
+/// `ex` may be null — shards then run inline on the calling thread, same
 /// bytes, no parallelism. `n_shards` >= 1; the planner may use fewer shards
 /// than requested on short messages.
 [[nodiscard]] std::vector<std::uint8_t> encrypt_sharded(
     std::span<const std::uint8_t> msg, const Key& key, const CoverSource& cover,
-    int n_shards, util::ThreadPool* pool, BlockParams params = BlockParams::paper());
+    int n_shards, exec::Executor* ex, BlockParams params = BlockParams::paper());
 
 /// encrypt_sharded into caller storage: every worker writes its disjoint
 /// block-range slice of `out` directly — no per-worker buffers, no splice,
@@ -154,7 +154,7 @@ std::vector<ShardRange> plan_framed_walk(const BlockParams& params,
 /// cannot hold them (partial contents are then unspecified).
 std::size_t encrypt_sharded_into(std::span<const std::uint8_t> msg, const Key& key,
                                  const CoverSource& cover, int n_shards,
-                                 util::ThreadPool* pool, std::span<std::uint8_t> out,
+                                 exec::Executor* ex, std::span<std::uint8_t> out,
                                  BlockParams params = BlockParams::paper());
 
 /// Sharded decryption, bit-identical to core::decrypt including its strict
@@ -162,7 +162,7 @@ std::size_t encrypt_sharded_into(std::span<const std::uint8_t> msg, const Key& k
 /// ciphertext, and trailing blocks past the message end.
 [[nodiscard]] std::vector<std::uint8_t> decrypt_sharded(
     std::span<const std::uint8_t> cipher, const Key& key, std::size_t msg_bytes,
-    int n_shards, util::ThreadPool* pool, BlockParams params = BlockParams::paper());
+    int n_shards, exec::Executor* ex, BlockParams params = BlockParams::paper());
 
 /// decrypt_sharded into caller storage (same strict contract; additionally
 /// std::length_error when `out` is shorter than `msg_bytes`). Framed-policy
@@ -174,7 +174,7 @@ std::size_t encrypt_sharded_into(std::span<const std::uint8_t> msg, const Key& k
 /// per-worker buffers and no splice. Returns `msg_bytes`.
 std::size_t decrypt_sharded_into(std::span<const std::uint8_t> cipher, const Key& key,
                                  std::size_t msg_bytes, int n_shards,
-                                 util::ThreadPool* pool, std::span<std::uint8_t> out,
+                                 exec::Executor* ex, std::span<std::uint8_t> out,
                                  BlockParams params = BlockParams::paper());
 
 }  // namespace mhhea::core

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/exec/executor.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace mhhea::crypto {
@@ -23,10 +24,13 @@ int resolve_threads(int n_threads, std::size_t n_items) {
   return n_threads;
 }
 
-/// Run `work(i)` for every i in [0, n_items), either inline or on a pool of
-/// `n_threads` workers pulling indices from a shared atomic counter. Each
-/// worker gets its own cipher via `make_cipher`; the first exception (from
-/// construction or work) is rethrown on the calling thread.
+/// Run `work(i)` for every i in [0, n_items), either inline or as `n_threads`
+/// worker tasks on the process-wide executor, each pulling indices from a
+/// shared atomic counter. Each worker gets its own cipher via `make_cipher`;
+/// the first exception (from construction or work) is rethrown on the calling
+/// thread. The executor is persistent, so a batch call no longer pays thread
+/// spawn/join — and because TaskGroup waiters help, the call also makes
+/// progress on the caller's own thread instead of merely blocking.
 template <typename Work>
 void run_batch(const CipherMaker& make_cipher, std::size_t n_items, int n_threads,
                Work&& work) {
@@ -57,9 +61,9 @@ void run_batch(const CipherMaker& make_cipher, std::size_t n_items, int n_thread
     }
   };
 
-  util::ThreadPool pool(n_threads);
-  for (int t = 0; t < n_threads; ++t) pool.submit(worker);
-  pool.wait_idle();
+  exec::TaskGroup group(exec::Executor::shared());
+  for (int t = 0; t < n_threads; ++t) group.run(worker);
+  group.wait();
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 

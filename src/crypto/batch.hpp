@@ -2,9 +2,10 @@
 //
 // A server encrypting independent packets for many users is embarrassingly
 // parallel: each message is a separate cipher invocation. encrypt_batch /
-// decrypt_batch fan a span of messages over a small thread pool
-// (src/util/thread_pool.hpp), giving one cipher instance per worker so no
-// cipher state is shared. Results are bit-identical to a sequential loop
+// decrypt_batch fan a span of messages over the persistent process-wide
+// work-stealing executor (src/exec/executor.hpp), giving one cipher instance
+// per worker so no cipher state is shared. Results are bit-identical to a
+// sequential loop
 // (verified by tests/cipher_registry_test.cpp) because Cipher adapters are
 // deterministic per call.
 #pragma once

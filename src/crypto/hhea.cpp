@@ -359,9 +359,9 @@ void extract_range_into(std::span<const std::uint8_t> cipher, const ShardRange& 
 /// so each plans exactly once.
 void run_hhea_encrypt_ranges(const std::vector<ShardRange>& ranges,
                              std::span<const std::uint8_t> msg, const core::Key& key,
-                             const core::CoverSource& cover, util::ThreadPool* pool,
+                             const core::CoverSource& cover, exec::Executor* ex,
                              const BlockParams& params, std::uint8_t* out) {
-  util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+  exec::run_indexed(ex, ranges.size(), [&](std::size_t s) {
     encrypt_range(ranges[s], msg, key, cover, params, out);
   });
 }
@@ -369,7 +369,7 @@ void run_hhea_encrypt_ranges(const std::vector<ShardRange>& ranges,
 /// Shared body of the sharded decrypt forms: plan, strict length validation,
 /// and extraction into the first msg_bytes bytes of `out`.
 void run_hhea_decrypt_sharded(std::span<const std::uint8_t> cipher, const core::Key& key,
-                              std::size_t msg_bytes, int n_shards, util::ThreadPool* pool,
+                              std::size_t msg_bytes, int n_shards, exec::Executor* ex,
                               std::span<std::uint8_t> out, const BlockParams& params) {
   const auto bb = static_cast<std::size_t>(params.block_bytes());
   if (cipher.size() % bb != 0) {
@@ -392,7 +392,7 @@ void run_hhea_decrypt_sharded(std::span<const std::uint8_t> cipher, const core::
   }
   if (params.policy == FramePolicy::framed) {
     // Frame-aligned shard starts are byte-aligned: write slices directly.
-    util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+    exec::run_indexed(ex, ranges.size(), [&](std::size_t s) {
       const ShardRange& r = ranges[s];
       const std::size_t byte_begin = static_cast<std::size_t>(r.bit_begin / 8);
       const std::size_t byte_len = static_cast<std::size_t>((r.n_bits + 7) / 8);
@@ -404,7 +404,7 @@ void run_hhea_decrypt_sharded(std::span<const std::uint8_t> cipher, const core::
   // width cycle owes bytes nothing), so workers keep private bit buffers
   // spliced in order into the caller's storage.
   std::vector<std::vector<std::uint8_t>> parts(ranges.size());
-  util::run_indexed(pool, ranges.size(), [&](std::size_t s) {
+  exec::run_indexed(ex, ranges.size(), [&](std::size_t s) {
     parts[s] = extract_range(cipher, ranges[s], key, params);
   });
   util::SpanBitWriter sink(out.first(msg_bytes));
@@ -449,7 +449,7 @@ std::uint64_t hhea_cipher_bytes(const detail::WidthCycle& wc, std::uint64_t msg_
 std::vector<std::uint8_t> hhea_encrypt_sharded(std::span<const std::uint8_t> msg,
                                                const core::Key& key,
                                                const core::CoverSource& cover, int n_shards,
-                                               util::ThreadPool* pool, BlockParams params) {
+                                               exec::Executor* ex, BlockParams params) {
   core::detail::validate_sharded(key, n_shards, params, "hhea_encrypt_sharded");
   if (msg.empty()) return {};
   if (n_shards == 1) {
@@ -466,13 +466,13 @@ std::vector<std::uint8_t> hhea_encrypt_sharded(std::span<const std::uint8_t> msg
       plan_shards(wc, params, total_bits, static_cast<std::size_t>(n_shards), &total_blocks);
   std::vector<std::uint8_t> out(static_cast<std::size_t>(total_blocks) *
                                 static_cast<std::size_t>(params.block_bytes()));
-  run_hhea_encrypt_ranges(ranges, msg, key, cover, pool, params, out.data());
+  run_hhea_encrypt_ranges(ranges, msg, key, cover, ex, params, out.data());
   return out;
 }
 
 std::size_t hhea_encrypt_sharded_into(std::span<const std::uint8_t> msg,
                                       const core::Key& key, const core::CoverSource& cover,
-                                      int n_shards, util::ThreadPool* pool,
+                                      int n_shards, exec::Executor* ex,
                                       std::span<std::uint8_t> out, BlockParams params) {
   core::detail::validate_sharded(key, n_shards, params, "hhea_encrypt_sharded_into");
   if (msg.empty()) return 0;
@@ -492,24 +492,24 @@ std::size_t hhea_encrypt_sharded_into(std::span<const std::uint8_t> msg,
   if (out.size() < need) {
     throw std::length_error("hhea_encrypt_sharded_into: output buffer too small");
   }
-  run_hhea_encrypt_ranges(ranges, msg, key, cover, pool, params, out.data());
+  run_hhea_encrypt_ranges(ranges, msg, key, cover, ex, params, out.data());
   return need;
 }
 
 std::vector<std::uint8_t> hhea_decrypt_sharded(std::span<const std::uint8_t> cipher,
                                                const core::Key& key, std::size_t msg_bytes,
-                                               int n_shards, util::ThreadPool* pool,
+                                               int n_shards, exec::Executor* ex,
                                                BlockParams params) {
   core::detail::validate_sharded(key, n_shards, params, "hhea_decrypt_sharded");
   if (n_shards == 1) return hhea_decrypt(cipher, key, msg_bytes, params);
   std::vector<std::uint8_t> msg(msg_bytes);
-  run_hhea_decrypt_sharded(cipher, key, msg_bytes, n_shards, pool, msg, params);
+  run_hhea_decrypt_sharded(cipher, key, msg_bytes, n_shards, ex, msg, params);
   return msg;
 }
 
 std::size_t hhea_decrypt_sharded_into(std::span<const std::uint8_t> cipher,
                                       const core::Key& key, std::size_t msg_bytes,
-                                      int n_shards, util::ThreadPool* pool,
+                                      int n_shards, exec::Executor* ex,
                                       std::span<std::uint8_t> out, BlockParams params) {
   core::detail::validate_sharded(key, n_shards, params, "hhea_decrypt_sharded_into");
   if (out.size() < msg_bytes) {
@@ -519,7 +519,7 @@ std::size_t hhea_decrypt_sharded_into(std::span<const std::uint8_t> cipher,
     HheaDecryptor dec(key, static_cast<std::uint64_t>(msg_bytes) * 8, params);
     return dec.decrypt_into(cipher, static_cast<std::uint64_t>(msg_bytes) * 8, out);
   }
-  run_hhea_decrypt_sharded(cipher, key, msg_bytes, n_shards, pool, out, params);
+  run_hhea_decrypt_sharded(cipher, key, msg_bytes, n_shards, ex, out, params);
   return msg_bytes;
 }
 

@@ -24,7 +24,7 @@
 #include "src/core/key.hpp"
 #include "src/core/params.hpp"
 #include "src/util/bitstream.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 namespace mhhea::crypto {
 
@@ -162,18 +162,18 @@ class HheaDecryptor {
 // embeds/extracts its own slice.
 
 /// Sharded one-shot encryption, bit-identical to HheaEncryptor fed in one
-/// shot. `cover` is a clonable, resettable prototype; `pool` may be null
+/// shot. `cover` is a clonable, resettable prototype; `ex` may be null
 /// (shards run inline). n_shards >= 1.
 [[nodiscard]] std::vector<std::uint8_t> hhea_encrypt_sharded(
     std::span<const std::uint8_t> msg, const core::Key& key,
-    const core::CoverSource& cover, int n_shards, util::ThreadPool* pool,
+    const core::CoverSource& cover, int n_shards, exec::Executor* ex,
     core::BlockParams params = core::BlockParams::paper());
 
 /// Sharded decryption, bit-identical to hhea_decrypt including strictness:
 /// std::invalid_argument on misaligned, truncated or trailing ciphertext.
 [[nodiscard]] std::vector<std::uint8_t> hhea_decrypt_sharded(
     std::span<const std::uint8_t> cipher, const core::Key& key, std::size_t msg_bytes,
-    int n_shards, util::ThreadPool* pool,
+    int n_shards, exec::Executor* ex,
     core::BlockParams params = core::BlockParams::paper());
 
 /// hhea_encrypt_sharded into caller storage: the block count is known
@@ -182,7 +182,7 @@ class HheaDecryptor {
 /// ciphertext bytes written; std::length_error when `out` is too small.
 std::size_t hhea_encrypt_sharded_into(
     std::span<const std::uint8_t> msg, const core::Key& key,
-    const core::CoverSource& cover, int n_shards, util::ThreadPool* pool,
+    const core::CoverSource& cover, int n_shards, exec::Executor* ex,
     std::span<std::uint8_t> out, core::BlockParams params = core::BlockParams::paper());
 
 /// hhea_decrypt_sharded into caller storage (std::length_error when `out` is
@@ -192,7 +192,7 @@ std::size_t hhea_encrypt_sharded_into(
 /// Returns `msg_bytes`.
 std::size_t hhea_decrypt_sharded_into(
     std::span<const std::uint8_t> cipher, const core::Key& key, std::size_t msg_bytes,
-    int n_shards, util::ThreadPool* pool, std::span<std::uint8_t> out,
+    int n_shards, exec::Executor* ex, std::span<std::uint8_t> out,
     core::BlockParams params = core::BlockParams::paper());
 
 }  // namespace mhhea::crypto

@@ -13,7 +13,7 @@
 #include "src/core/params.hpp"
 #include "src/crypto/cipher.hpp"
 #include "src/crypto/hhea.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 namespace mhhea::crypto {
 
@@ -22,8 +22,8 @@ class HheaCipher final : public Cipher {
   /// Validates seed, params and key-vs-params eagerly (std::invalid_argument).
   ///
   /// `shards` > 1 turns on intra-message parallelism (hhea_encrypt_sharded /
-  /// hhea_decrypt_sharded): block-range shards run concurrently on an
-  /// internal pool, bit-identical to the single-shard path. 0 picks
+  /// hhea_decrypt_sharded): block-range shards run concurrently on the shared
+  /// process executor, bit-identical to the single-shard path. 0 picks
   /// hardware concurrency; negative counts throw std::invalid_argument.
   HheaCipher(core::Key key, std::uint64_t seed,
              core::BlockParams params = core::BlockParams::paper(), int shards = 1);
@@ -66,9 +66,10 @@ class HheaCipher final : public Cipher {
   HheaEncryptor enc_;  // reusable core, reset per encrypt()
   HheaDecryptor dec_;  // reusable core, reset per decrypt()
   double expansion_;
-  // Sharded-mode state (null when shards_ == 1).
+  // Sharded-mode state (null when the shard clamp resolves to 1).
   std::unique_ptr<core::CoverSource> cover_proto_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  exec::Executor* exec_ = nullptr;  // Executor::shared() when fan-out pays off
+  int workers_ = 1;                 // shard clamp: min(shards_, hardware)
 };
 
 }  // namespace mhhea::crypto

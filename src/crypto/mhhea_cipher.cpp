@@ -9,6 +9,7 @@
 #include "src/core/frame.hpp"
 #include "src/core/shard.hpp"
 #include "src/util/secret.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace mhhea::crypto {
 
@@ -65,13 +66,14 @@ MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, const V2KeySchedule&
       dec_(key_, 0, params_),
       expansion_(core::expected_expansion(key_, params_)),
       cycle_min_bits_(cycle_min_bits(key_, params_)) {
-  // The worker pool is clamped to hardware concurrency — sharding across
+  // The worker budget is clamped to hardware concurrency — sharding across
   // more workers than cores measures dispatch overhead, not parallelism (the
   // PR-4 bench recorded exactly that regression on a 1-core host). When the
-  // clamp resolves to a single worker no pool exists at all and every
-  // message runs the sequential resettable cores inline.
-  const int workers = std::min(shards_, util::resolve_parallelism(0, "MhheaCipher"));
-  if (shards_ > 1 && workers > 1) {
+  // clamp resolves to a single worker no executor handle exists at all and
+  // every message runs the sequential resettable cores inline. Fan-out goes
+  // to the process-wide executor, so constructing a cipher spawns nothing.
+  workers_ = std::min(shards_, util::resolve_parallelism(0, "MhheaCipher"));
+  if (shards_ > 1 && workers_ > 1) {
     cover_proto_ = core::make_lfsr_cover(
         params_.vector_bits, framing_ == Framing::sealed_v2 ? v2_cover_seed(0) : seed_);
     // Warm the LFSR's lazily built leap tables and jump matrix once, so
@@ -79,7 +81,7 @@ MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, const V2KeySchedule&
     (void)cover_proto_->next_block(params_.vector_bits);
     cover_proto_->skip_blocks(params_.vector_bits, 1);
     cover_proto_->reset();
-    pool_ = std::make_unique<util::ThreadPool>(workers);
+    exec_ = &exec::Executor::shared();
   }
 }
 
@@ -120,10 +122,9 @@ std::size_t MhheaCipher::encrypt_into(std::span<const std::uint8_t> msg,
     }
     payload = out.subspan(core::FrameHeader::kSize);
   }
-  const int workers = pool_ ? pool_->size() : 1;
-  const int eff = std::min(effective_shards(shards_, msg.size()), workers);
+  const int eff = std::min(effective_shards(shards_, msg.size()), workers_);
   const std::size_t raw =
-      eff > 1 ? core::encrypt_sharded_into(msg, key_, *cover_proto_, eff, pool_.get(),
+      eff > 1 ? core::encrypt_sharded_into(msg, key_, *cover_proto_, eff, exec_,
                                            payload, params_)
               : enc_.encrypt_into(msg, payload);
   if (framing_ == Framing::sealed) {
@@ -164,10 +165,9 @@ std::size_t MhheaCipher::decrypt_into(std::span<const std::uint8_t> cipher,
       throw std::invalid_argument("MhheaCipher: sealed header length mismatch");
     }
   }
-  const int workers = pool_ ? pool_->size() : 1;
-  const int eff = std::min(effective_shards(shards_, msg_bytes), workers);
+  const int eff = std::min(effective_shards(shards_, msg_bytes), workers_);
   if (eff > 1) {
-    return core::decrypt_sharded_into(payload, key_, msg_bytes, eff, pool_.get(), out,
+    return core::decrypt_sharded_into(payload, key_, msg_bytes, eff, exec_, out,
                                       params_);
   }
   return dec_.decrypt_into(payload, message_bits, out);
@@ -214,10 +214,9 @@ std::size_t MhheaCipher::seal_v2_into(std::span<const std::uint8_t> msg, std::ui
   // length_error covers a payload slice that cannot hold them.
   std::span<std::uint8_t> payload = out.subspan(
       core::FrameHeader::kSizeV2, out.size() - core::FrameHeader::kOverheadV2);
-  const int workers = pool_ ? pool_->size() : 1;
-  const int eff = std::min(effective_shards(shards_, msg.size()), workers);
+  const int eff = std::min(effective_shards(shards_, msg.size()), workers_);
   const std::size_t raw =
-      eff > 1 ? core::encrypt_sharded_into(msg, key_, *cover_proto_, eff, pool_.get(),
+      eff > 1 ? core::encrypt_sharded_into(msg, key_, *cover_proto_, eff, exec_,
                                            payload, params_)
               : enc_.encrypt_into(msg, payload);
   core::FrameHeader h;
@@ -265,12 +264,11 @@ std::size_t MhheaCipher::decrypt_v2_payload(const V2Opened& opened,
                                             std::span<std::uint8_t> out) {
   require_v2("decrypt_v2_payload");
   const std::uint64_t bits = opened.header.message_bits;
-  const int workers = pool_ ? pool_->size() : 1;
   if (bits % 8 == 0) {
     const auto msg_bytes = static_cast<std::size_t>(bits / 8);
-    const int eff = std::min(effective_shards(shards_, msg_bytes), workers);
+    const int eff = std::min(effective_shards(shards_, msg_bytes), workers_);
     if (eff > 1) {
-      return core::decrypt_sharded_into(opened.payload, key_, msg_bytes, eff, pool_.get(),
+      return core::decrypt_sharded_into(opened.payload, key_, msg_bytes, eff, exec_,
                                         out, params_);
     }
   }

@@ -37,7 +37,7 @@
 #include "src/core/params.hpp"
 #include "src/crypto/cipher.hpp"
 #include "src/crypto/mac.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 namespace mhhea::crypto {
 
@@ -173,11 +173,13 @@ class MhheaCipher final : public Cipher {
   double expansion_;
   std::uint64_t cycle_min_bits_;  // sum of per-pair minimum widths (for the bound)
   // Sharded-mode state (null when the shards knob or the host resolves to a
-  // single worker — the pool is clamped to hardware concurrency, and with
+  // single worker — the budget is clamped to hardware concurrency, and with
   // one worker the plan runs inline on the sequential cores instead): the
-  // cover prototype each shard worker clones and jumps, and the worker pool.
+  // cover prototype each shard worker clones and jumps, and a handle to the
+  // process-wide work-stealing executor the fan-out runs on.
   std::unique_ptr<core::CoverSource> cover_proto_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  exec::Executor* exec_ = nullptr;  // Executor::shared() when fan-out pays off
+  int workers_ = 1;                 // shard clamp: min(shards_, hardware)
 };
 
 }  // namespace mhhea::crypto

@@ -37,7 +37,27 @@ Session Session::from_master(std::span<const std::uint8_t> master, int n_pairs,
   return Session(master, derive_hiding_key(sched, n_pairs, params), params, shards);
 }
 
+void Session::require_nonce_available() const {
+  // Checked BEFORE the cipher is touched: at the sentinel every usable nonce
+  // has been consumed, and an unchecked ++next_nonce_ would wrap to 0 and
+  // re-derive already-used cover seeds — keystream reuse under one key.
+  if (next_nonce_ == kNonceExhausted) {
+    throw NonceExhaustedError(
+        "Session: nonce space exhausted — sealing again would wrap the counter and "
+        "reuse keystream; rekey the session");
+  }
+}
+
+void Session::skip_to_nonce(std::uint64_t nonce) {
+  if (nonce < next_nonce_) {
+    throw std::invalid_argument(
+        "Session: skip_to_nonce cannot rewind — earlier nonces were already sealed");
+  }
+  next_nonce_ = nonce;
+}
+
 std::vector<std::uint8_t> Session::seal(std::span<const std::uint8_t> msg) {
+  require_nonce_available();
   std::vector<std::uint8_t> out(cipher_.sealed_v2_size(msg.size(), next_nonce_));
   const std::size_t n = cipher_.seal_v2_into(msg, next_nonce_, out);
   out.resize(n);
@@ -46,6 +66,7 @@ std::vector<std::uint8_t> Session::seal(std::span<const std::uint8_t> msg) {
 }
 
 std::size_t Session::seal_into(std::span<const std::uint8_t> msg, std::span<std::uint8_t> out) {
+  require_nonce_available();
   const std::size_t n = cipher_.seal_v2_into(msg, next_nonce_, out);
   ++next_nonce_;  // only after the seal fully succeeded
   return n;

@@ -46,11 +46,27 @@ class ReplayError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Thrown by seal/seal_into when the session's nonce space is spent: the
+/// counter has reached kNonceExhausted and sealing again would wrap back to
+/// already-used nonces — keystream reuse under one key, the exact failure
+/// the per-nonce V2KeySchedule derivation exists to prevent. The failed call
+/// consumes nothing; the session stays usable for open().
+class NonceExhaustedError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 class Session {
  public:
   /// Sliding replay-window width in messages: nonces older than
   /// `highest seen - kReplayWindow + 1` are rejected outright.
   static constexpr std::uint64_t kReplayWindow = 64;
+
+  /// The seal counter's exhaustion sentinel: 2^64 - 1 is never used as a
+  /// nonce, so `next_nonce_ == kNonceExhausted` unambiguously means "every
+  /// usable nonce (0 .. 2^64 - 2) has been sealed" and the counter can never
+  /// silently wrap to 0. Sealing in that state throws NonceExhaustedError.
+  static constexpr std::uint64_t kNonceExhausted = ~std::uint64_t{0};
 
   /// Session over an explicit hiding key. `master` (non-empty) feeds the
   /// V2KeySchedule; `key` must fit `params`. `shards` as in MhheaCipher.
@@ -65,12 +81,24 @@ class Session {
       core::BlockParams params = core::BlockParams::hardware(), int shards = 1);
 
   /// Seal `msg` under the next counter value (the container carries it as
-  /// the nonce). The counter increments only on success.
+  /// the nonce). The counter increments only on success; once it reaches
+  /// kNonceExhausted, sealing throws NonceExhaustedError before touching the
+  /// cipher (no nonce is burned by the failed call).
   [[nodiscard]] std::vector<std::uint8_t> seal(std::span<const std::uint8_t> msg);
   /// Span form: writes the container into `out` and returns its size
   /// (std::length_error when `out` is too small — the counter is not
-  /// consumed). Size with max_sealed_size().
+  /// consumed). Size with max_sealed_size(). Same NonceExhaustedError
+  /// contract as seal().
   std::size_t seal_into(std::span<const std::uint8_t> msg, std::span<std::uint8_t> out);
+
+  /// Fast-forward the seal counter to `nonce` — how a sealing session resumes
+  /// after persistence or fails over to a replica that must not reuse its
+  /// predecessor's nonces. Rewinding (nonce < next_nonce()) would re-derive
+  /// already-used cover seeds and throws std::invalid_argument; advancing to
+  /// kNonceExhausted is allowed and makes the next seal throw
+  /// NonceExhaustedError. Doubles as the regression hook that makes the
+  /// wrap-around contract testable without sealing 2^64 messages.
+  void skip_to_nonce(std::uint64_t nonce);
 
   /// Authenticate, replay-check, then decrypt. Throws MacError on tag
   /// mismatch, ReplayError on a replayed/too-old nonce, std::invalid_argument
@@ -91,6 +119,8 @@ class Session {
   [[nodiscard]] const MhheaCipher& cipher() const noexcept { return cipher_; }
 
  private:
+  /// Throws NonceExhaustedError when the seal counter sits at the sentinel.
+  void require_nonce_available() const;
   /// Throws ReplayError unless `nonce` is fresh w.r.t. the window.
   void check_replay(std::uint64_t nonce) const;
   /// Marks an accepted nonce seen, sliding the window forward if needed.

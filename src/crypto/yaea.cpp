@@ -1,5 +1,7 @@
 #include "src/crypto/yaea.hpp"
 
+#include "src/util/thread_pool.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -140,11 +142,12 @@ Yaea::Yaea(KeyType key, int shards)
       // contract: bad configurations fail at construction, not mid-sweep).
       ks_proto_(key.seed_a, key.seed_b, key.seed_c) {
   ks_proto_.warm();
-  // The worker pool is clamped to hardware concurrency: sharding a message
-  // across more workers than cores only buys dispatch overhead, and a pool
-  // of one would always run inline anyway.
-  const int workers = std::min(shards_, util::resolve_parallelism(0, "Yaea"));
-  if (shards_ > 1 && workers > 1) pool_ = std::make_unique<util::ThreadPool>(workers);
+  // The worker count is clamped to hardware concurrency: sharding a message
+  // across more workers than cores only buys dispatch overhead, and a fan-out
+  // of one would always run inline anyway. Work goes to the process-wide
+  // executor — constructing a cipher no longer spawns threads.
+  workers_ = std::min(shards_, util::resolve_parallelism(0, "Yaea"));
+  if (shards_ > 1 && workers_ > 1) exec_ = &exec::Executor::shared();
 }
 
 Yaea::~Yaea() { util::secure_wipe_object(key_); }
@@ -157,12 +160,11 @@ std::size_t Yaea::encrypt_into(std::span<const std::uint8_t> msg,
   // Contiguous byte ranges, each with an independently jumped keystream —
   // one keystream byte consumes 8 steps of each register, so the shard at
   // byte offset o starts from jump(8 * o). The shard count is additionally
-  // clamped to the worker pool: on a host where the pool resolved to one
+  // clamped to the worker budget: on a host where that resolved to one
   // worker, the plan runs inline as a single range.
-  const int workers = pool_ ? pool_->size() : 1;
   const auto n = static_cast<std::size_t>(
-      std::min(effective_shards(shards_, msg.size()), workers));
-  util::run_indexed(n > 1 ? pool_.get() : nullptr, n, [&](std::size_t s) {
+      std::min(effective_shards(shards_, msg.size()), workers_));
+  exec::run_indexed(n > 1 ? exec_ : nullptr, n, [&](std::size_t s) {
     const std::size_t begin = msg.size() * s / n;
     const std::size_t end = msg.size() * (s + 1) / n;
     GeffeKeystream ks = ks_proto_;

@@ -27,7 +27,7 @@
 #include "src/backend/backend.hpp"
 #include "src/crypto/cipher.hpp"
 #include "src/lfsr/lfsr.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 namespace mhhea::crypto {
 
@@ -116,7 +116,7 @@ class GeffeKeystream {
 /// 96-bit-keyed stream cipher: ciphertext = plaintext XOR keystream.
 ///
 /// `shards` > 1 splits each message into that many contiguous byte ranges
-/// XORed in parallel on an internal thread pool, each range's keystream
+/// XORed in parallel on the shared process executor, each range's keystream
 /// seeded independently by GeffeKeystream::jump — bit-identical to the
 /// sequential stream for every shard count. 0 picks hardware concurrency;
 /// negative counts throw std::invalid_argument.
@@ -132,7 +132,7 @@ class Yaea final : public Cipher {
   Yaea(Yaea&&) noexcept = default;
   Yaea& operator=(Yaea&&) noexcept = default;
   /// Wipes the stored key seeds (the keystream prototype wipes its own
-  /// register states; copies were already excluded by the pool handle).
+  /// register states).
   ~Yaea() override;
 
   [[nodiscard]] std::string name() const override { return "YAEA-S"; }
@@ -164,7 +164,8 @@ class Yaea final : public Cipher {
   /// Pristine keystream at the seed state with warmed tables; every call
   /// copies it (cheap — tables are shared) instead of re-deriving them.
   GeffeKeystream ks_proto_;
-  std::unique_ptr<util::ThreadPool> pool_;  // created only when shards_ > 1
+  exec::Executor* exec_ = nullptr;  // Executor::shared() when fan-out pays off
+  int workers_ = 1;                 // shard clamp: min(shards_, hardware)
 };
 
 }  // namespace mhhea::crypto

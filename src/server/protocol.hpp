@@ -1,0 +1,156 @@
+// Wire protocol of the mhhead encryption daemon.
+//
+// The daemon is a crypto oracle: it holds the session master secret and
+// seals/opens on behalf of clients, so client processes never touch key
+// material. Framing is deliberately minimal — length-prefixed binary over a
+// byte stream (TCP or UNIX domain socket):
+//
+//   request:   u32le len | u8 op     | body[len-1]
+//   response:  u32le len | u8 status | body[len-1]
+//
+// `len` counts the op/status byte plus the body, so the smallest legal frame
+// is len == 1 (a bare op). A zero length prefix is malformed (there is no op
+// to dispatch on) and closes the connection; a length above the server's
+// frame cap is answered with kTooLarge and also closes it (the daemon will
+// not buffer an unbounded body).
+//
+// Ops:      kSeal  — body is a raw message; the response body is the sealed
+//                    authenticated v2 container (the server's per-connection
+//                    outbound Session assigns the nonce).
+//           kOpen  — body is a sealed v2 container; the response body is the
+//                    recovered plaintext. MAC and replay-window checks run
+//                    before any decryption (crypto::Session semantics).
+//           kPing  — empty body, empty kOk response; liveness and latency
+//                    floor probe.
+//
+// Statuses: kOk on success. kBadRequest (malformed frame or container
+// structure), kAuthFailed (MAC mismatch — forged or corrupted container),
+// kReplayed (authentic container already seen inside the replay window) are
+// terminal for the request but leave the connection usable. kOverloaded is
+// RETRIABLE: the server shed the request before doing any crypto work
+// because its in-flight budget was full — clients back off and resend.
+// kTooLarge closes the connection after the response is flushed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mhhea::server {
+
+enum class Op : std::uint8_t {
+  kSeal = 1,
+  kOpen = 2,
+  kPing = 3,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,   // malformed frame/container — fix the request
+  kAuthFailed = 2,   // MAC mismatch: forged or corrupted
+  kReplayed = 3,     // authentic but already accepted (replay window)
+  kOverloaded = 4,   // shed before any work — RETRIABLE with backoff
+  kTooLarge = 5,     // frame exceeds the server cap; connection closes
+};
+
+/// Frame layout constants shared by server, client and load generator.
+inline constexpr std::size_t kLenPrefixBytes = 4;
+inline constexpr std::size_t kMaxFrameDefault = std::size_t{1} << 20;  // 1 MiB
+
+inline void put_u32le(std::uint32_t v, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline std::uint32_t get_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Encode one frame: the tag byte is an Op on the request path and a Status
+/// on the response path (identical layout either way).
+inline std::vector<std::uint8_t> encode_frame(std::uint8_t tag,
+                                              std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kLenPrefixBytes + 1 + body.size());
+  put_u32le(static_cast<std::uint32_t>(1 + body.size()), out);
+  out.push_back(tag);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+inline std::vector<std::uint8_t> encode_request(Op op,
+                                                std::span<const std::uint8_t> body) {
+  return encode_frame(static_cast<std::uint8_t>(op), body);
+}
+
+inline std::vector<std::uint8_t> encode_response(Status status,
+                                                 std::span<const std::uint8_t> body) {
+  return encode_frame(static_cast<std::uint8_t>(status), body);
+}
+
+/// One parsed frame: the tag byte plus a view of the body inside the
+/// parser's buffer (valid until the next consume()).
+struct Frame {
+  std::uint8_t tag = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// Incremental frame parser over a byte stream. feed() appends received
+/// bytes; next() yields completed frames one at a time. Malformation that
+/// can be detected from the prefix alone (zero length, length above the cap)
+/// surfaces through the error() state so the connection can respond and
+/// close instead of desynchronizing.
+class FrameParser {
+ public:
+  enum class Error { kNone, kZeroLength, kTooLarge };
+
+  explicit FrameParser(std::size_t max_frame = kMaxFrameDefault)
+      : max_frame_(max_frame) {}
+
+  void feed(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  [[nodiscard]] Error error() const noexcept { return error_; }
+
+  /// True while a frame has been started (some bytes buffered) but not yet
+  /// completed — the slow-loris condition the server's request timeout cuts.
+  [[nodiscard]] bool mid_frame() const noexcept { return !buf_.empty(); }
+
+  /// Pop the next complete frame, or nullopt when more bytes are needed.
+  /// After an Error the parser yields nothing more.
+  std::optional<Frame> next() {
+    if (error_ != Error::kNone) return std::nullopt;
+    if (buf_.size() < kLenPrefixBytes) return std::nullopt;
+    const std::uint32_t len = get_u32le(buf_.data());
+    if (len == 0) {
+      error_ = Error::kZeroLength;
+      return std::nullopt;
+    }
+    if (len > max_frame_) {
+      error_ = Error::kTooLarge;
+      return std::nullopt;
+    }
+    if (buf_.size() < kLenPrefixBytes + len) return std::nullopt;
+    Frame f;
+    f.tag = buf_[kLenPrefixBytes];
+    f.body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(kLenPrefixBytes) + 1,
+                  buf_.begin() + static_cast<std::ptrdiff_t>(kLenPrefixBytes + len));
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(kLenPrefixBytes + len));
+    return f;
+  }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  Error error_ = Error::kNone;
+};
+
+}  // namespace mhhea::server

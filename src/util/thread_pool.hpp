@@ -4,7 +4,15 @@
 // direction (worker wake-up, idle notification). Deliberately minimal: the
 // batch cipher API (src/crypto/batch.hpp) and the benchmark harness submit
 // coarse-grained tasks (whole messages), so a lock-free queue would buy
-// nothing measurable here. Grow it when a profile says so.
+// nothing measurable here.
+//
+// SUPERSEDED for library-internal fan-out by the persistent work-stealing
+// exec::Executor (src/exec/executor.hpp): the shard planners, encrypt_batch
+// and the server all share Executor::shared() instead of spawning a pool per
+// call or per cipher. ThreadPool remains as a standalone utility (own
+// lifetime, whole-pool wait_idle barrier) and as the substrate of the legacy
+// run_indexed overload below, whose contract some embedders may still rely
+// on.
 #pragma once
 
 #include <condition_variable>
@@ -69,9 +77,24 @@ class ThreadPool {
     {
       std::lock_guard lock(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      if (submit_budget_ >= 0) {
+        if (submit_budget_ == 0) {
+          throw std::runtime_error("ThreadPool: submit after shutdown");
+        }
+        --submit_budget_;
+      }
       queue_.push(std::move(task));
     }
     wake_workers_.notify_one();
+  }
+
+  /// Fault-injection seam: after `k` more successful submits, every further
+  /// submit fails exactly as if shutdown had begun (same std::runtime_error).
+  /// This makes the run_indexed mid-fan-out unwind path — a shutdown race in
+  /// production — deterministically testable. Negative k disarms.
+  void fail_submits_after(int k) {
+    std::lock_guard lock(mu_);
+    submit_budget_ = k;
   }
 
   /// Block until the queue is empty and every worker is idle.
@@ -108,6 +131,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   int active_ = 0;
   bool stopping_ = false;
+  int submit_budget_ = -1;  // fault injection: >= 0 counts down to failure
 };
 
 /// Run `task(i)` for every i in [0, n) — on `pool` when one is given, inline
@@ -125,15 +149,27 @@ void run_indexed(ThreadPool* pool, std::size_t n, const Task& task) {
   }
   std::exception_ptr first_error;
   std::mutex error_mu;
-  for (std::size_t i = 0; i < n; ++i) {
-    pool->submit([&task, &first_error, &error_mu, i] {
-      try {
-        task(i);
-      } catch (...) {
-        std::lock_guard lock(error_mu);
-        if (first_error == nullptr) first_error = std::current_exception();
-      }
-    });
+  std::size_t submitted = 0;
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      pool->submit([&task, &first_error, &error_mu, i] {
+        try {
+          task(i);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+      });
+      ++submitted;
+    }
+  } catch (...) {
+    // submit threw mid-fan-out (shutdown race): the lambdas already queued
+    // reference task/first_error/error_mu on THIS frame, so unwinding now
+    // would hand the workers dangling stack references. Join what was queued
+    // (workers drain the queue even while stopping), then surface the
+    // submission failure.
+    if (submitted > 0) pool->wait_idle();
+    throw;
   }
   pool->wait_idle();
   if (first_error != nullptr) std::rethrow_exception(first_error);

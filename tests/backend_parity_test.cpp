@@ -23,7 +23,7 @@
 #include "src/crypto/yaea.hpp"
 #include "src/lfsr/lfsr.hpp"
 #include "src/util/rng.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 namespace mhhea {
 namespace {
@@ -224,7 +224,7 @@ TEST(ShardedDecrypt, ContinuousIntoMatchesSequentialOnExplicitPool) {
   // sequential path on a 1-core box). The ragged size sweep lands shard
   // boundaries at many different block-alignment walks.
   util::Xoshiro256 rng(0xA11);
-  util::ThreadPool pool(4);
+  exec::Executor pool(4);
   for (const core::BlockParams params :
        {core::BlockParams::paper(), core::BlockParams{32, core::FramePolicy::continuous}}) {
     const core::Key key = core::Key::random(rng, 8, params);
@@ -242,7 +242,7 @@ TEST(ShardedDecrypt, ContinuousIntoMatchesSequentialOnExplicitPool) {
 
 TEST(ShardedDecrypt, ContinuousStrictContractSurvivesThePreScan) {
   util::Xoshiro256 rng(0xB22);
-  util::ThreadPool pool(4);
+  exec::Executor pool(4);
   const core::BlockParams params = core::BlockParams::paper();
   const core::Key key = core::Key::random(rng, 8, params);
   const auto msg = random_message(rng, 600);

@@ -58,4 +58,29 @@ foreach(want MHHEA MHHEA-sealed MHHEA-sealed-v2 HHEA YAEA-S)
     message(FATAL_ERROR "bench_smoke: registry cipher ${want} missing from results")
   endif()
 endforeach()
+
+# Speedup objects must never be silently empty: this run sweeps a single
+# thread/shard column, so both are clamped — every registry cipher reports
+# the exact single-column ratio 1.0 and the clamp is marked explicitly.
+string(JSON batch_clamped GET "${doc}" batch_speedup_clamped)
+string(JSON shard_clamped GET "${doc}" shard_speedup_clamped)
+if(NOT batch_clamped STREQUAL "ON" AND NOT batch_clamped STREQUAL "true")
+  message(FATAL_ERROR "bench_smoke: batch_speedup_clamped is \"${batch_clamped}\", expected true for a --threads 1 run")
+endif()
+if(NOT shard_clamped STREQUAL "ON" AND NOT shard_clamped STREQUAL "true")
+  message(FATAL_ERROR "bench_smoke: shard_speedup_clamped is \"${shard_clamped}\", expected true for a --shards 1 run")
+endif()
+foreach(want MHHEA MHHEA-sealed MHHEA-sealed-v2 HHEA YAEA-S)
+  string(JSON batch_ratio ERROR_VARIABLE jerr GET "${doc}" batch_speedup "${want}")
+  if(jerr)
+    message(FATAL_ERROR "bench_smoke: batch_speedup missing cipher ${want} (pre-fix bug: empty {} on clamped hosts)")
+  endif()
+  if(NOT batch_ratio EQUAL 1)
+    message(FATAL_ERROR "bench_smoke: clamped batch_speedup for ${want} is ${batch_ratio}, expected 1.0")
+  endif()
+  string(JSON shard_ratio ERROR_VARIABLE jerr2 GET "${doc}" shard_speedup "${want}")
+  if(jerr2)
+    message(FATAL_ERROR "bench_smoke: shard_speedup missing cipher ${want} on a clamped sweep")
+  endif()
+endforeach()
 message(STATUS "bench_smoke: ${n_results} cells OK")

@@ -28,7 +28,7 @@
 #include "src/crypto/registry.hpp"
 #include "src/crypto/yaea.hpp"
 #include "src/util/rng.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 // ----------------------------------------------------------------------
 // Counting global allocator: replaces the program-wide operator new/delete
@@ -255,7 +255,7 @@ TEST_P(ShardedIntoPolicy, CoreShardedIntoMatchesSequential) {
   util::Xoshiro256 rng(0x5A4E);
   const core::Key key = core::Key::random(rng, 8, params);
   const core::LfsrCover cover(params.vector_bits, 0xACE1);
-  util::ThreadPool pool(4);
+  exec::Executor pool(4);
   for (const std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{257},
                                 std::size_t{5000}, std::size_t{16384}}) {
     const auto msg = random_message(rng, len);
@@ -304,7 +304,7 @@ TEST(ShardedInto, HheaShardedIntoMatchesSequential) {
        {core::BlockParams::paper(), core::BlockParams::hardware()}) {
     const core::Key key = core::Key::random(rng, 8, params);
     const core::LfsrCover cover(params.vector_bits, 0xACE1);
-    util::ThreadPool pool(4);
+    exec::Executor pool(4);
     for (const std::size_t len :
          {std::size_t{0}, std::size_t{257}, std::size_t{5000}, std::size_t{16384}}) {
       const auto msg = random_message(rng, len);

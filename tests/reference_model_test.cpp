@@ -30,7 +30,7 @@
 #include "src/crypto/yaea.hpp"
 #include "src/lfsr/lfsr.hpp"
 #include "src/lfsr/polynomials.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 namespace mhhea {
 namespace {
@@ -489,7 +489,7 @@ TEST_P(ReferenceMhhea, EncryptMatchesNaiveWalkAtEveryShardCount) {
   const auto [raw, key] = random_key(rng, params);
   const std::uint64_t seed = nonzero_seed(rng, std::min(params.vector_bits, 32));
   const bool framed = params.policy == core::FramePolicy::framed;
-  util::ThreadPool pool(3);
+  exec::Executor pool(3);
   const core::LfsrCover proto(params.vector_bits, seed);
   for (const std::size_t size : kSizes) {
     const std::vector<std::uint8_t> msg = random_message(rng, size);
@@ -554,7 +554,7 @@ TEST(ReferenceHhea, EncryptMatchesNaiveWalkAtEveryShardCount) {
     std::mt19937_64 rng(0x5EED0040 + (framed ? 1 : 0));
     const auto [raw, key] = random_key(rng, params);
     const std::uint64_t seed = nonzero_seed(rng, params.vector_bits);
-    util::ThreadPool pool(3);
+    exec::Executor pool(3);
     const core::LfsrCover proto(params.vector_bits, seed);
     for (const std::size_t size : kSizes) {
       const std::vector<std::uint8_t> msg = random_message(rng, size);

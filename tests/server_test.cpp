@@ -1,0 +1,398 @@
+// mhhead daemon failure-injection suite: every way a client can misbehave
+// on the wire — disconnects mid-frame, malformed prefixes and containers,
+// replays, slow loris, overload — must map to the documented Status (or a
+// clean connection cut) without wedging or crashing the server.
+//
+// Each test runs a real Server on an ephemeral loopback TCP port and speaks
+// the protocol through a raw blocking socket, so the bytes on the wire are
+// exactly what a remote client would produce.
+#include "src/server/server.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/crypto/session.hpp"
+#include "src/server/protocol.hpp"
+
+namespace mhhea::server {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+const std::vector<std::uint8_t> kMaster = bytes_of("server-suite master secret");
+
+ServerConfig base_config() {
+  ServerConfig cfg;
+  cfg.master = kMaster;
+  cfg.tcp_port = 0;  // ephemeral
+  return cfg;
+}
+
+/// Blocking client socket speaking the length-prefixed protocol.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send_raw(std::span<const std::uint8_t> bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void send_request(Op op, std::span<const std::uint8_t> body) {
+    send_raw(encode_request(op, body));
+  }
+
+  /// Read one response frame; nullopt on EOF (server closed the connection).
+  std::optional<Frame> read_response() {
+    for (;;) {
+      if (auto f = parser_.next()) return f;
+      std::uint8_t buf[16 * 1024];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) return std::nullopt;
+      parser_.feed(std::span(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+  /// True when the server has closed: read() returns EOF.
+  bool server_closed() { return !read_response().has_value(); }
+
+  void close_now() {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+Status status_of(const Frame& f) { return static_cast<Status>(f.tag); }
+
+TEST(ServerRoundTrip, PingSealOpen) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+
+  client.send_request(Op::kPing, {});
+  auto pong = client.read_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(status_of(*pong), Status::kOk);
+  EXPECT_TRUE(pong->body.empty());
+
+  // kSeal: the server's outbound session seals; our inbound twin opens.
+  const auto msg = bytes_of("attack at dawn");
+  client.send_request(Op::kSeal, msg);
+  auto sealed = client.read_response();
+  ASSERT_TRUE(sealed.has_value());
+  ASSERT_EQ(status_of(*sealed), Status::kOk);
+  crypto::Session my_inbound = crypto::Session::from_master(kMaster);
+  EXPECT_EQ(my_inbound.open(sealed->body), msg);
+
+  // kOpen: our outbound twin seals; the server's inbound session opens.
+  crypto::Session my_outbound = crypto::Session::from_master(kMaster);
+  const auto container = my_outbound.seal(msg);
+  client.send_request(Op::kOpen, container);
+  auto opened = client.read_response();
+  ASSERT_TRUE(opened.has_value());
+  ASSERT_EQ(status_of(*opened), Status::kOk);
+  EXPECT_EQ(opened->body, msg);
+
+  server.stop();
+  const auto s = server.stats();
+  EXPECT_EQ(s.requests_ok, 3u);
+  EXPECT_EQ(s.requests_error, 0u);
+}
+
+TEST(ServerRoundTrip, PipelinedRequestsAnswerInOrder) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+
+  // Burst all requests before reading anything: responses must come back
+  // FIFO and each sealed container must open under consecutive nonces.
+  constexpr int kBurst = 16;
+  std::vector<std::vector<std::uint8_t>> msgs;
+  for (int i = 0; i < kBurst; ++i) {
+    msgs.push_back(bytes_of("pipelined message #" + std::to_string(i)));
+    client.send_request(Op::kSeal, msgs.back());
+  }
+  crypto::Session my_inbound = crypto::Session::from_master(kMaster);
+  for (int i = 0; i < kBurst; ++i) {
+    auto resp = client.read_response();
+    ASSERT_TRUE(resp.has_value()) << i;
+    ASSERT_EQ(status_of(*resp), Status::kOk) << i;
+    // Opening in order proves both FIFO responses and consecutive nonces.
+    EXPECT_EQ(my_inbound.open(resp->body), msgs[static_cast<std::size_t>(i)]) << i;
+  }
+  server.stop();
+}
+
+TEST(ServerFailure, DisconnectMidFrameLeavesServerServing) {
+  Server server(base_config());
+  server.start();
+  {
+    Client half(server.port());
+    // Announce a 100-byte frame, deliver 3 bytes, vanish.
+    std::vector<std::uint8_t> partial;
+    put_u32le(100, partial);
+    partial.push_back(static_cast<std::uint8_t>(Op::kSeal));
+    partial.push_back(0xAB);
+    partial.push_back(0xCD);
+    half.send_raw(partial);
+    half.close_now();
+  }
+  // The server must shrug it off and keep serving new connections.
+  Client next(server.port());
+  next.send_request(Op::kPing, {});
+  auto pong = next.read_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(status_of(*pong), Status::kOk);
+  server.stop();
+}
+
+TEST(ServerFailure, ZeroLengthPrefixIsBadRequestAndCloses) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  client.send_raw(zeros);
+  auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(status_of(*resp), Status::kBadRequest);
+  EXPECT_TRUE(client.server_closed());
+  server.stop();
+  EXPECT_GE(server.stats().requests_error, 1u);
+}
+
+TEST(ServerFailure, OversizedLengthPrefixIsTooLargeAndCloses) {
+  ServerConfig cfg = base_config();
+  cfg.max_frame_bytes = 1024;
+  Server server(cfg);
+  server.start();
+  Client client(server.port());
+  std::vector<std::uint8_t> huge;
+  put_u32le(1 << 30, huge);  // 1 GiB announced, never delivered
+  huge.push_back(static_cast<std::uint8_t>(Op::kSeal));
+  client.send_raw(huge);
+  auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(status_of(*resp), Status::kTooLarge);
+  EXPECT_TRUE(client.server_closed());
+  server.stop();
+}
+
+TEST(ServerFailure, MalformedContainerIsBadRequest) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+  // Garbage that is not even close to a v2 container.
+  const auto garbage = bytes_of("not a sealed container at all");
+  client.send_request(Op::kOpen, garbage);
+  auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(status_of(*resp), Status::kBadRequest);
+
+  // The connection survives a bad request.
+  client.send_request(Op::kPing, {});
+  auto pong = client.read_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(status_of(*pong), Status::kOk);
+  server.stop();
+}
+
+TEST(ServerFailure, ForgedContainerIsAuthFailed) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+  crypto::Session my_outbound = crypto::Session::from_master(kMaster);
+  auto container = my_outbound.seal(bytes_of("legitimate"));
+  container.back() ^= 0x01;  // flip one ciphertext bit → MAC mismatch
+  client.send_request(Op::kOpen, container);
+  auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(status_of(*resp), Status::kAuthFailed);
+  server.stop();
+}
+
+TEST(ServerFailure, ReplayedNonceOverWireIsReplayed) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+  crypto::Session my_outbound = crypto::Session::from_master(kMaster);
+  const auto container = my_outbound.seal(bytes_of("exactly once"));
+
+  client.send_request(Op::kOpen, container);
+  auto first = client.read_response();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(status_of(*first), Status::kOk);
+
+  // The identical container again: authentic, but the server-side replay
+  // window has already accepted nonce 0.
+  client.send_request(Op::kOpen, container);
+  auto second = client.read_response();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(status_of(*second), Status::kReplayed);
+  server.stop();
+  EXPECT_EQ(server.stats().requests_ok, 1u);
+  EXPECT_EQ(server.stats().requests_error, 1u);
+}
+
+TEST(ServerFailure, UnknownOpIsBadRequest) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+  const std::uint8_t bogus_op = 0x7F;
+  client.send_raw(encode_frame(bogus_op, {}));
+  auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(status_of(*resp), Status::kBadRequest);
+  server.stop();
+}
+
+TEST(ServerFailure, SlowLorisIsCutByRequestTimeout) {
+  ServerConfig cfg = base_config();
+  cfg.request_timeout_ms = 200;
+  Server server(cfg);
+  server.start();
+  Client loris(server.port());
+  // Start a frame and stall: the sweep must cut the connection once the
+  // partial frame outlives the timeout.
+  std::vector<std::uint8_t> partial;
+  put_u32le(64, partial);
+  partial.push_back(static_cast<std::uint8_t>(Op::kSeal));
+  loris.send_raw(partial);
+  EXPECT_TRUE(loris.server_closed());  // blocks until the server cuts us
+  server.stop();
+  EXPECT_GE(server.stats().timeouts, 1u);
+}
+
+TEST(ServerFailure, IdleConnectionSurvivesTheTimeout) {
+  ServerConfig cfg = base_config();
+  cfg.request_timeout_ms = 150;
+  Server server(cfg);
+  server.start();
+  Client client(server.port());
+  // No partial frame: idleness alone is not slow loris.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  client.send_request(Op::kPing, {});
+  auto pong = client.read_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(status_of(*pong), Status::kOk);
+  server.stop();
+  EXPECT_EQ(server.stats().timeouts, 0u);
+}
+
+TEST(ServerOverload, ZeroBudgetShedsEveryCryptoRequest) {
+  ServerConfig cfg = base_config();
+  cfg.max_inflight = 0;  // deterministic total overload
+  Server server(cfg);
+  server.start();
+  Client client(server.port());
+
+  client.send_request(Op::kSeal, bytes_of("never sealed"));
+  auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(status_of(*resp), Status::kOverloaded);
+
+  // Shedding is per request, not per connection: the same connection still
+  // answers pings (no crypto budget needed) and sheds again on retry.
+  client.send_request(Op::kPing, {});
+  auto pong = client.read_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(status_of(*pong), Status::kOk);
+
+  client.send_request(Op::kSeal, bytes_of("retry"));
+  auto again = client.read_response();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(status_of(*again), Status::kOverloaded);
+
+  server.stop();
+  const auto s = server.stats();
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_EQ(s.requests_ok, 1u);
+}
+
+TEST(ServerOverload, ConnectionCapRefusesExtraClients) {
+  ServerConfig cfg = base_config();
+  cfg.max_connections = 1;
+  Server server(cfg);
+  server.start();
+  Client first(server.port());
+  first.send_request(Op::kPing, {});
+  ASSERT_TRUE(first.read_response().has_value());  // registered and serving
+
+  Client second(server.port());
+  // The server accepts then immediately closes: the first read sees EOF.
+  EXPECT_TRUE(second.server_closed());
+
+  // The surviving connection still works.
+  first.send_request(Op::kPing, {});
+  auto pong = first.read_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(status_of(*pong), Status::kOk);
+  server.stop();
+  EXPECT_GE(server.stats().rejected_conns, 1u);
+}
+
+TEST(ServerLifecycle, StopWithClientsConnectedIsClean) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+  client.send_request(Op::kSeal, bytes_of("in flight at shutdown"));
+  // Stop without reading: the server drains in-flight crypto, then closes.
+  server.stop();
+  // Whatever we observe now must be orderly: either the response made it out
+  // before the close, or EOF — never a hang.
+  auto resp = client.read_response();
+  if (resp.has_value()) {
+    EXPECT_EQ(status_of(*resp), Status::kOk);
+    EXPECT_TRUE(client.server_closed());
+  }
+}
+
+TEST(ServerLifecycle, RejectsBadConfig) {
+  ServerConfig no_master = base_config();
+  no_master.master.clear();
+  EXPECT_THROW(Server{no_master}, std::invalid_argument);
+
+  ServerConfig bad_timeout = base_config();
+  bad_timeout.request_timeout_ms = 0;
+  EXPECT_THROW(Server{bad_timeout}, std::invalid_argument);
+
+  ServerConfig bad_inflight = base_config();
+  bad_inflight.max_inflight = -1;
+  EXPECT_THROW(Server{bad_inflight}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mhhea::server

@@ -188,5 +188,63 @@ TEST(Session, ExplicitKeyConstructor) {
   EXPECT_EQ(b.open(a.seal(msg)), msg);
 }
 
+// ------------------------------------------------------- nonce exhaustion
+//
+// The PR-9 bugfix: the seal counter must never wrap from 2^64-1 back to 0 —
+// that would re-derive cover seeds already used under this key (keystream
+// reuse). skip_to_nonce is the regression hook that makes the boundary
+// reachable without sealing 2^64 messages.
+
+TEST(SessionNonceWrap, LastUsableNonceSealsAndWrapThrows) {
+  Session sealer = make_pair_session();
+  const auto msg = bytes_of("the last message under this key");
+  sealer.skip_to_nonce(Session::kNonceExhausted - 1);
+  // 2^64 - 2 is the last usable nonce: it must seal normally...
+  const auto last = sealer.seal(msg);
+  EXPECT_EQ(sealer.next_nonce(), Session::kNonceExhausted);
+  // ...and the next seal must throw BEFORE consuming anything — pre-fix the
+  // counter silently wrapped to 0 and reused nonce 0's cover seed.
+  EXPECT_THROW((void)sealer.seal(msg), NonceExhaustedError);
+  EXPECT_EQ(sealer.next_nonce(), Session::kNonceExhausted);  // not burned, no wrap
+
+  // seal_into obeys the same contract.
+  std::vector<std::uint8_t> out(sealer.max_sealed_size(msg.size()));
+  EXPECT_THROW((void)sealer.seal_into(msg, out), NonceExhaustedError);
+  EXPECT_EQ(sealer.next_nonce(), Session::kNonceExhausted);
+
+  // The failed calls poisoned nothing: the message sealed at the boundary
+  // still opens (replay window accepts the huge counter jump).
+  Session opener = make_pair_session();
+  EXPECT_EQ(opener.open(last), msg);
+}
+
+TEST(SessionNonceWrap, ExhaustedErrorIsInvalidArgument) {
+  // Callers catching the repo-wide std::invalid_argument convention must
+  // see exhaustion too, while specific handlers can still distinguish it.
+  Session sealer = make_pair_session();
+  sealer.skip_to_nonce(Session::kNonceExhausted);
+  EXPECT_THROW((void)sealer.seal(bytes_of("x")), std::invalid_argument);
+}
+
+TEST(SessionNonceWrap, SkipToNonceIsForwardOnly) {
+  Session sealer = make_pair_session();
+  const auto msg = bytes_of("forward only");
+  (void)sealer.seal(msg);
+  (void)sealer.seal(msg);
+  EXPECT_EQ(sealer.next_nonce(), 2u);
+  // Rewinding would re-derive used cover seeds — rejected outright.
+  EXPECT_THROW(sealer.skip_to_nonce(1), std::invalid_argument);
+  EXPECT_THROW(sealer.skip_to_nonce(0), std::invalid_argument);
+  EXPECT_EQ(sealer.next_nonce(), 2u);
+  // Skipping to the current value is a no-op, and forward skips land
+  // exactly where asked (failover semantics).
+  sealer.skip_to_nonce(2);
+  sealer.skip_to_nonce(1000);
+  EXPECT_EQ(sealer.next_nonce(), 1000u);
+  Session opener = make_pair_session();
+  EXPECT_EQ(opener.open(sealer.seal(msg)), msg);
+  EXPECT_EQ(sealer.next_nonce(), 1001u);
+}
+
 }  // namespace
 }  // namespace mhhea::crypto

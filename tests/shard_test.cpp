@@ -19,7 +19,7 @@
 #include "src/crypto/registry.hpp"
 #include "src/crypto/yaea.hpp"
 #include "src/util/rng.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/exec/executor.hpp"
 
 namespace mhhea {
 namespace {
@@ -104,7 +104,7 @@ TEST_P(ShardPolicy, EncryptShardedMatchesSequential) {
   util::Xoshiro256 rng(0x5A4D);
   const core::Key key = core::Key::random(rng, 8, params);
   const core::LfsrCover cover(params.vector_bits, 0xACE1);
-  util::ThreadPool pool(4);
+  exec::Executor pool(4);
   for (const std::size_t len : kSizes) {
     const auto msg = random_message(rng, len);
     const auto expected = core::encrypt(msg, key, 0xACE1, params);
@@ -122,7 +122,7 @@ TEST_P(ShardPolicy, DecryptShardedMatchesSequential) {
   const core::BlockParams params = GetParam();
   util::Xoshiro256 rng(0xD0C);
   const core::Key key = core::Key::random(rng, 8, params);
-  util::ThreadPool pool(4);
+  exec::Executor pool(4);
   for (const std::size_t len : kSizes) {
     const auto msg = random_message(rng, len);
     const auto ct = core::encrypt(msg, key, 0xACE1, params);
@@ -139,7 +139,7 @@ TEST_P(ShardPolicy, DecryptShardedKeepsTheStrictContract) {
   const core::BlockParams params = GetParam();
   util::Xoshiro256 rng(0xBAD);
   const core::Key key = core::Key::random(rng, 4, params);
-  util::ThreadPool pool(4);
+  exec::Executor pool(4);
   const auto msg = random_message(rng, 300);
   auto ct = core::encrypt(msg, key, 0xACE1, params);
   const auto bb = static_cast<std::size_t>(params.block_bytes());
@@ -189,7 +189,7 @@ TEST(ShardStego, BufferCoverDrainsExactlyLikeSequential) {
   core::Encryptor enc(key, cover.clone(), params);
   enc.feed(msg);
   const auto& expected = enc.cipher_bytes();
-  util::ThreadPool pool(4);
+  exec::Executor pool(4);
   for (const int shards : {2, 4, 8}) {
     EXPECT_EQ(core::encrypt_sharded(msg, key, cover, shards, &pool, params), expected)
         << shards;
@@ -206,7 +206,7 @@ TEST(ShardStego, BufferCoverDrainsExactlyLikeSequential) {
 
 TEST(ShardHhea, MatchesSequentialBothPolicies) {
   util::Xoshiro256 rng(0x44EA);
-  util::ThreadPool pool(4);
+  exec::Executor pool(4);
   for (const core::BlockParams params :
        {core::BlockParams::paper(), core::BlockParams::hardware()}) {
     const core::Key key = core::Key::random(rng, 8, params);
@@ -230,7 +230,7 @@ TEST(ShardHhea, StrictContractUnderSharding) {
   const core::BlockParams params = core::BlockParams::paper();
   util::Xoshiro256 rng(0x44EB);
   const core::Key key = core::Key::random(rng, 4, params);
-  util::ThreadPool pool(2);
+  exec::Executor pool(2);
   const auto msg = random_message(rng, 120);
   auto ct = crypto::hhea_encrypt(msg, key, 0xACE1, params);
   const auto bb = static_cast<std::size_t>(params.block_bytes());

@@ -5,7 +5,8 @@ Rules (each with an ID used in findings and suppressions):
 
   throw-type          Only the pinned exception types may be thrown in src/:
                       std::invalid_argument / std::length_error (the public
-                      error contract), MacError / ReplayError (its authenticated
+                      error contract), MacError / ReplayError /
+                      NonceExhaustedError (its authenticated-session
                       refinements), std::out_of_range (bit-level read
                       contracts), and std::logic_error / std::runtime_error
                       (API misuse / environment exhaustion) — the last three
@@ -66,6 +67,7 @@ ALLOWED_THROWS_EVERYWHERE = {
     "std::length_error",
     "MacError",
     "ReplayError",
+    "NonceExhaustedError",
     "std::bad_alloc",
 }
 
@@ -79,10 +81,12 @@ RESTRICTED_THROW_ALLOWLIST = {
     },
     "std::runtime_error": {
         "src/util/thread_pool.hpp", # submit after shutdown
+        "src/exec/executor.cpp",    # submit after shutdown
         "src/core/cover.cpp",       # finite cover exhausted
         "src/core/mhhea.cpp",       # cover exhausted mid-encrypt
         "src/core/shard.cpp",       # cover exhausted mid-plan
         "src/crypto/hhea.cpp",      # cover exhausted mid-plan
+        "src/server/server.cpp",    # socket/epoll environment failures
     },
     "std::logic_error": {
         "src/core/cover.cpp",           # clone/reset/reseed unsupported

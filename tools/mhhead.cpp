@@ -1,0 +1,121 @@
+// mhhead — CLI wrapper for the encryption service daemon (src/server/).
+//
+// Usage:
+//   mhhead --uds /tmp/mhhead.sock --master <hex> [options]
+//   mhhead --tcp 7410            --master <hex> [options]
+//
+// Options:
+//   --uds PATH          listen on a UNIX domain socket (unlinked on exit)
+//   --tcp PORT          listen on loopback TCP (0 = ephemeral; the bound
+//                       port is printed to stdout)
+//   --master HEX        session master secret, hex-encoded (required)
+//   --shards N          per-session intra-message shard knob (default 1)
+//   --max-inflight N    crypto requests in flight before shedding (def. 128)
+//   --max-conns N       live connection cap (default 1024)
+//   --timeout-ms N      slow-loris/partial-frame timeout (default 5000)
+//   --max-frame BYTES   frame length cap (default 1 MiB)
+//
+// The daemon serves until SIGINT/SIGTERM, then drains in-flight requests
+// and exits 0. "READY" plus the endpoint is printed once the socket is
+// listening, so scripted callers (CI's server-smoke job) can wait for the
+// line instead of sleeping.
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <semaphore>
+#include <string>
+#include <vector>
+
+#include "src/server/server.hpp"
+#include "src/util/hex.hpp"
+
+namespace {
+
+// Signal flag → semaphore: the handler only does async-signal-safe work.
+std::binary_semaphore g_stop(0);
+
+void on_signal(int) { g_stop.release(); }
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "mhhead: " << msg
+            << "\nusage: mhhead (--uds PATH | --tcp PORT) --master HEX"
+               " [--shards N] [--max-inflight N] [--max-conns N]"
+               " [--timeout-ms N] [--max-frame BYTES]\n";
+  std::exit(2);
+}
+
+long parse_long(const std::string& flag, const std::string& value) {
+  try {
+    return std::stol(value);
+  } catch (const std::exception&) {
+    usage_error(flag + ": not a number: " + value);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mhhea::server::ServerConfig cfg;
+  bool have_endpoint = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage_error(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--uds") {
+      cfg.uds_path = need_value("--uds");
+      have_endpoint = true;
+    } else if (arg == "--tcp") {
+      cfg.tcp_port = static_cast<std::uint16_t>(parse_long("--tcp", need_value("--tcp")));
+      have_endpoint = true;
+    } else if (arg == "--master") {
+      try {
+        cfg.master = mhhea::util::hex_to_bytes(need_value("--master"));
+      } catch (const std::invalid_argument& e) {
+        usage_error(std::string("--master: ") + e.what());
+      }
+    } else if (arg == "--shards") {
+      cfg.shards = static_cast<int>(parse_long("--shards", need_value("--shards")));
+    } else if (arg == "--max-inflight") {
+      cfg.max_inflight =
+          static_cast<int>(parse_long("--max-inflight", need_value("--max-inflight")));
+    } else if (arg == "--max-conns") {
+      cfg.max_connections =
+          static_cast<int>(parse_long("--max-conns", need_value("--max-conns")));
+    } else if (arg == "--timeout-ms") {
+      cfg.request_timeout_ms =
+          static_cast<int>(parse_long("--timeout-ms", need_value("--timeout-ms")));
+    } else if (arg == "--max-frame") {
+      cfg.max_frame_bytes =
+          static_cast<std::size_t>(parse_long("--max-frame", need_value("--max-frame")));
+    } else {
+      usage_error("unknown flag " + arg);
+    }
+  }
+  if (!have_endpoint) usage_error("one of --uds/--tcp is required");
+  if (cfg.master.empty()) usage_error("--master is required (non-empty hex)");
+
+  try {
+    mhhea::server::Server server(cfg);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    server.start();
+    if (!cfg.uds_path.empty()) {
+      std::cout << "READY uds " << cfg.uds_path << std::endl;
+    } else {
+      std::cout << "READY tcp " << server.port() << std::endl;
+    }
+    g_stop.acquire();
+    server.stop();
+    const auto s = server.stats();
+    std::cout << "mhhead: served ok=" << s.requests_ok << " error=" << s.requests_error
+              << " shed=" << s.shed << " timeouts=" << s.timeouts
+              << " accepted=" << s.accepted << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "mhhead: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
