@@ -126,6 +126,11 @@ MacKey subkey(const MacKey& root, std::string_view label) {
 }  // namespace
 
 V2KeySchedule V2KeySchedule::derive(std::span<const std::uint8_t> master) {
+  return derive(master, {});
+}
+
+V2KeySchedule V2KeySchedule::derive(std::span<const std::uint8_t> master,
+                                    std::span<const std::uint8_t> context) {
   if (master.empty()) throw std::invalid_argument("V2KeySchedule: empty master key");
   SecretMacKey root;  // [[mhhea::secret]] wiped on scope exit
   if (master.size() == kMacKeyBytes) {
@@ -136,6 +141,12 @@ V2KeySchedule V2KeySchedule::derive(std::span<const std::uint8_t> master) {
     const MacKey compress_key = {'m', 'h', 'h', 'e', 'a', '-', 'v', '2',
                                  ' ', 'c', 'o', 'm', 'p', 'r', 's', 's'};
     root = siphash128(compress_key, master);
+  }
+  if (!context.empty()) {
+    // Re-key the root by the public context before the subkeys split: two
+    // schedules under one master but different contexts (direction label,
+    // connection salt) are then cryptographically independent end to end.
+    root = siphash128(root, context);
   }
   V2KeySchedule s;
   s.mac_key = subkey(root, "mhhea-v2 mac");

@@ -69,6 +69,13 @@ struct V2KeySchedule {
   /// Expand a caller-provided master secret (non-empty, any length;
   /// compressed to 128 bits first when longer than kMacKeyBytes).
   [[nodiscard]] static V2KeySchedule derive(std::span<const std::uint8_t> master);
+  /// Context-separated variant: `context` (public — e.g. a direction label
+  /// plus a per-connection salt) is mixed into the root before the subkeys
+  /// split, so schedules under the same master but different contexts share
+  /// no key material and their containers do not cross-verify. An empty
+  /// context yields exactly the plain derive(master) schedule.
+  [[nodiscard]] static V2KeySchedule derive(std::span<const std::uint8_t> master,
+                                            std::span<const std::uint8_t> context);
   /// Convenience for 64-bit seeds (registry, tests): the seed is expanded to
   /// a 16-byte master with SplitMix64, then derived as above.
   [[nodiscard]] static V2KeySchedule derive(std::uint64_t seed);

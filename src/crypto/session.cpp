@@ -8,10 +8,6 @@ namespace mhhea::crypto {
 
 namespace {
 
-V2KeySchedule schedule_for(std::span<const std::uint8_t> master) {
-  return V2KeySchedule::derive(master);
-}
-
 /// Deterministic hiding key drawn from the schedule, under its own domain
 /// label so it is independent of the MAC and seed subkeys.
 core::Key derive_hiding_key(const V2KeySchedule& sched, int n_pairs,
@@ -28,13 +24,27 @@ core::Key derive_hiding_key(const V2KeySchedule& sched, int n_pairs,
 
 Session::Session(std::span<const std::uint8_t> master, core::Key key,
                  core::BlockParams params, int shards)
-    : cipher_(std::move(key), schedule_for(master), params, MhheaCipher::Framing::sealed_v2,
-              shards) {}
+    : Session(master, {}, std::move(key), params, shards) {}
+
+Session::Session(std::span<const std::uint8_t> master,
+                 std::span<const std::uint8_t> context, core::Key key,
+                 core::BlockParams params, int shards)
+    : cipher_(std::move(key), V2KeySchedule::derive(master, context), params,
+              MhheaCipher::Framing::sealed_v2, shards) {}
 
 Session Session::from_master(std::span<const std::uint8_t> master, int n_pairs,
                              core::BlockParams params, int shards) {
-  const V2KeySchedule sched = schedule_for(master);
-  return Session(master, derive_hiding_key(sched, n_pairs, params), params, shards);
+  return from_master(master, {}, n_pairs, params, shards);
+}
+
+Session Session::from_master(std::span<const std::uint8_t> master,
+                             std::span<const std::uint8_t> context, int n_pairs,
+                             core::BlockParams params, int shards) {
+  // The context feeds the schedule before the hiding key is drawn, so the
+  // hiding key (not just the MAC/seed subkeys) differs per context too.
+  const V2KeySchedule sched = V2KeySchedule::derive(master, context);
+  return Session(master, context, derive_hiding_key(sched, n_pairs, params), params,
+                 shards);
 }
 
 void Session::require_nonce_available() const {

@@ -14,6 +14,17 @@
 // frame cap is answered with kTooLarge and also closes it (the daemon will
 // not buffer an unbounded body).
 //
+// Handshake: the FIRST frame on every connection is an unsolicited server
+// hello — status kHello, body = a kConnSaltBytes random salt. Each side then
+// derives its Session pair with a context of direction label plus that salt
+// (c2s_context/s2c_context below): the client seals requests under c2s and
+// opens responses under s2c, the server mirrors it. Without the salt every
+// connection (and both directions of one connection) would derive identical
+// keys with nonce counters starting at 0 — the same per-nonce keystream
+// protecting different plaintexts (a two-time pad) and containers replayable
+// across connections. With it, each (connection, direction) is an
+// independent cipher and a container from any other scope fails its MAC.
+//
 // Ops:      kSeal  — body is a raw message; the response body is the sealed
 //                    authenticated v2 container (the server's per-connection
 //                    outbound Session assigns the nonce).
@@ -25,17 +36,20 @@
 //
 // Statuses: kOk on success. kBadRequest (malformed frame or container
 // structure), kAuthFailed (MAC mismatch — forged or corrupted container),
-// kReplayed (authentic container already seen inside the replay window) are
+// kReplayed (authentic container already seen inside the replay window) and
+// kInternal (unexpected server-side failure — not the client's fault) are
 // terminal for the request but leave the connection usable. kOverloaded is
 // RETRIABLE: the server shed the request before doing any crypto work
 // because its in-flight budget was full — clients back off and resend.
-// kTooLarge closes the connection after the response is flushed.
+// kTooLarge closes the connection after the response is flushed. kHello is
+// never a response: it tags the connection greeting described above.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace mhhea::server {
@@ -53,11 +67,35 @@ enum class Status : std::uint8_t {
   kReplayed = 3,     // authentic but already accepted (replay window)
   kOverloaded = 4,   // shed before any work — RETRIABLE with backoff
   kTooLarge = 5,     // frame exceeds the server cap; connection closes
+  kInternal = 6,     // unexpected server-side failure; connection survives
+  kHello = 7,        // connection greeting: body = per-connection salt
 };
 
 /// Frame layout constants shared by server, client and load generator.
 inline constexpr std::size_t kLenPrefixBytes = 4;
 inline constexpr std::size_t kMaxFrameDefault = std::size_t{1} << 20;  // 1 MiB
+
+/// Size of the random per-connection salt the server's hello carries.
+inline constexpr std::size_t kConnSaltBytes = 16;
+
+/// KDF contexts of the two directions on a connection with `salt` (the hello
+/// body): label || salt, fed to crypto::Session::from_master by both sides.
+/// c2s keys client-sealed requests (the server's INBOUND session), s2c keys
+/// server-sealed responses (the server's OUTBOUND session).
+inline std::vector<std::uint8_t> direction_context(std::string_view label,
+                                                   std::span<const std::uint8_t> salt) {
+  std::vector<std::uint8_t> ctx(label.begin(), label.end());
+  ctx.insert(ctx.end(), salt.begin(), salt.end());
+  return ctx;
+}
+
+inline std::vector<std::uint8_t> c2s_context(std::span<const std::uint8_t> salt) {
+  return direction_context("mhhea-conn c2s", salt);
+}
+
+inline std::vector<std::uint8_t> s2c_context(std::span<const std::uint8_t> salt) {
+  return direction_context("mhhea-conn s2c", salt);
+}
 
 inline void put_u32le(std::uint32_t v, std::vector<std::uint8_t>& out) {
   out.push_back(static_cast<std::uint8_t>(v));

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -38,17 +39,24 @@ constexpr std::size_t kMaxPendingPerConn = 32;
 /// Per-connection state. Owned by the I/O thread; executor tasks touch ONLY
 /// the sessions (serialized by `busy`) and read `closed`.
 struct Server::Conn {
-  Conn(int fd_in, std::span<const std::uint8_t> master, int n_pairs, int shards,
+  Conn(int fd_in, std::span<const std::uint8_t> master,
+       std::span<const std::uint8_t> salt, int n_pairs, int shards,
        std::size_t max_frame)
       : fd(fd_in),
         parser(max_frame),
-        // Outbound seals responses, inbound opens client containers. Both
-        // derive from the shared master, mirroring the client's own pair.
-        outbound(crypto::Session::from_master(master, n_pairs,
+        // Outbound seals responses (s2c), inbound opens client containers
+        // (c2s). Direction labels plus the random per-connection salt make
+        // every (connection, direction) an independent cipher: both nonce
+        // counters start at 0, so without the separation the request sealed
+        // at nonce N, the response at nonce N, and nonce N on every other
+        // connection would share one keystream (a two-time pad), and a
+        // container could be replayed from one connection onto another.
+        outbound(crypto::Session::from_master(master, s2c_context(salt), n_pairs,
                                               core::BlockParams::hardware(), shards)),
-        inbound(crypto::Session::from_master(master, n_pairs,
+        inbound(crypto::Session::from_master(master, c2s_context(salt), n_pairs,
                                              core::BlockParams::hardware(), shards)),
-        last_activity(Clock::now()) {}
+        last_activity(Clock::now()),
+        write_since(last_activity) {}
 
   int fd;
   FrameParser parser;
@@ -62,6 +70,7 @@ struct Server::Conn {
   crypto::Session outbound;
   crypto::Session inbound;
   Clock::time_point last_activity;
+  Clock::time_point write_since;  // when the oldest unflushed byte last progressed
 };
 
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {
@@ -144,13 +153,18 @@ Server::~Server() {
 }
 
 void Server::start() {
-  bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard lock(lifecycle_mu_);
+  if (running_.load()) return;
   stop_requested_.store(false);
   io_thread_ = std::thread([this] { io_loop(); });
+  running_.store(true);
 }
 
 void Server::stop() {
+  // The mutex makes concurrent stop() calls (or stop() racing the
+  // destructor) single-winner: joining one std::thread from two threads is
+  // undefined behavior.
+  std::lock_guard lock(lifecycle_mu_);
   if (!running_.load()) return;
   stop_requested_.store(true);
   const std::uint64_t one = 1;
@@ -207,8 +221,16 @@ void Server::handle_accept() {
       rejected_conns_.fetch_add(1);
       continue;
     }
-    auto conn = std::make_shared<Conn>(fd, cfg_.master, cfg_.n_pairs, cfg_.shards,
-                                       cfg_.max_frame_bytes);
+    std::array<std::uint8_t, kConnSaltBytes> salt;
+    if (::getentropy(salt.data(), salt.size()) != 0) {
+      // No entropy, no connection: serving without a fresh salt would put
+      // this connection's keystream in every other connection's nonce space.
+      ::close(fd);
+      rejected_conns_.fetch_add(1);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>(fd, cfg_.master, salt, cfg_.n_pairs,
+                                       cfg_.shards, cfg_.max_frame_bytes);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -216,16 +238,25 @@ void Server::handle_accept() {
       ::close(fd);
       continue;
     }
-    conns_.emplace(fd, std::move(conn));
+    conns_.emplace(fd, conn);
     accepted_.fetch_add(1);
+    // The hello MUST be the first frame out: the client cannot derive its
+    // session pair (and so cannot seal a request) until it has the salt.
+    queue_response(conn, Status::kHello, salt);
   }
 }
 
 void Server::queue_response(const std::shared_ptr<Conn>& conn, Status status,
                             std::span<const std::uint8_t> body) {
-  const std::vector<std::uint8_t> frame =
-      encode_response(status, body);
-  conn->wbuf.insert(conn->wbuf.end(), frame.begin(), frame.end());
+  append_wbuf(conn, encode_response(status, body));
+}
+
+void Server::append_wbuf(const std::shared_ptr<Conn>& conn,
+                         std::span<const std::uint8_t> bytes) {
+  // wbuf is cleared whenever it flushes fully, so non-empty means bytes are
+  // already waiting and their stall clock is running.
+  if (conn->wbuf.empty()) conn->write_since = Clock::now();
+  conn->wbuf.insert(conn->wbuf.end(), bytes.begin(), bytes.end());
   handle_writable(conn);  // opportunistic flush; arms EPOLLOUT on partial
 }
 
@@ -235,6 +266,7 @@ void Server::handle_writable(const std::shared_ptr<Conn>& conn) {
                               conn->wbuf.size() - conn->woff);
     if (n > 0) {
       conn->woff += static_cast<std::size_t>(n);
+      conn->write_since = Clock::now();  // progress resets the stall clock
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -323,41 +355,66 @@ void Server::pump_requests(const std::shared_ptr<Conn>& conn) {
       continue;
     }
     conn->busy = true;
-    exec::Executor::shared().submit([this, conn, body = std::move(req.body), op] {
-      Status status = Status::kOk;
-      std::vector<std::uint8_t> out;
-      try {
-        if (op == Op::kSeal) {
-          out = conn->outbound.seal(body);
-        } else {
-          out = conn->inbound.open(body);
+    try {
+      // wake_fd_ is captured by value: after the completion is pushed the
+      // Server may be torn down as soon as inflight_ hits 0, so the task
+      // must not read members past its own decrement below.
+      exec::Executor::shared().submit([this, conn, wake_fd = wake_fd_,
+                                       body = std::move(req.body), op] {
+        Status status = Status::kOk;
+        std::vector<std::uint8_t> out;
+        try {
+          if (op == Op::kSeal) {
+            out = conn->outbound.seal(body);
+          } else {
+            out = conn->inbound.open(body);
+          }
+        } catch (const crypto::ReplayError&) {
+          status = Status::kReplayed;
+          out.clear();
+        } catch (const crypto::MacError&) {
+          status = Status::kAuthFailed;
+          out.clear();
+        } catch (const std::invalid_argument&) {
+          status = Status::kBadRequest;
+          out.clear();
+        } catch (const std::length_error&) {
+          status = Status::kBadRequest;
+          out.clear();
+        } catch (...) {
+          // Anything else (bad_alloc on a near-cap frame, a bug deep in the
+          // cipher) must not escape a bare executor task — that terminates
+          // the daemon. Fail the one request instead.
+          status = Status::kInternal;
+          out.clear();
         }
-      } catch (const crypto::ReplayError&) {
-        status = Status::kReplayed;
-        out.clear();
-      } catch (const crypto::MacError&) {
-        status = Status::kAuthFailed;
-        out.clear();
-      } catch (const std::invalid_argument&) {
-        status = Status::kBadRequest;
-        out.clear();
-      } catch (const std::length_error&) {
-        status = Status::kBadRequest;
-        out.clear();
-      }
-      if (status == Status::kOk) {
-        requests_ok_.fetch_add(1);
-      } else {
-        requests_error_.fetch_add(1);
-      }
-      std::vector<std::uint8_t> resp = encode_response(status, out);
-      {
-        std::lock_guard lock(completion_mu_);
-        completions_.emplace_back(conn, std::move(resp));
-      }
-      const std::uint64_t one = 1;
-      (void)!::write(wake_fd_, &one, sizeof(one));
-    });
+        if (status == Status::kOk) {
+          requests_ok_.fetch_add(1);
+        } else {
+          requests_error_.fetch_add(1);
+        }
+        std::vector<std::uint8_t> resp = encode_response(status, out);
+        {
+          std::lock_guard lock(completion_mu_);
+          completions_.emplace_back(conn, std::move(resp));
+        }
+        const std::uint64_t one = 1;
+        (void)!::write(wake_fd, &one, sizeof(one));
+        // LAST member access: io_loop's shutdown gate spins on inflight_, so
+        // decrementing only after the wake write keeps the Server (and its
+        // eventfd) alive through every earlier line of this task.
+        inflight_.fetch_sub(1);
+      });
+    } catch (...) {
+      // Executor rejected the submission (process-wide shutdown): fail the
+      // request instead of leaking the in-flight slot and the busy flag.
+      inflight_.fetch_sub(1);
+      conn->busy = false;
+      requests_error_.fetch_add(1);
+      queue_response(conn, Status::kInternal, {});
+      if (conn->closed.load()) return;
+      continue;
+    }
     dispatched = true;  // one crypto request in flight per connection
   }
   update_epoll(conn);  // pending drained below the cap re-arms EPOLLIN
@@ -370,11 +427,11 @@ void Server::drain_completions() {
     done.swap(completions_);
   }
   for (auto& [conn, resp] : done) {
-    inflight_.fetch_sub(1);
+    // inflight_ is NOT decremented here — the task itself does that after
+    // its eventfd wake, so the shutdown drain gate covers the whole task.
     conn->busy = false;
     if (conn->closed.load()) continue;  // client left before the answer
-    conn->wbuf.insert(conn->wbuf.end(), resp.begin(), resp.end());
-    handle_writable(conn);
+    append_wbuf(conn, resp);
     if (!conn->closed.load()) pump_requests(conn);
   }
 }
@@ -391,7 +448,14 @@ void Server::sweep_timeouts() {
   const auto limit = std::chrono::milliseconds(cfg_.request_timeout_ms);
   std::vector<std::shared_ptr<Conn>> victims;
   for (const auto& [fd, conn] : conns_) {
-    if (conn->parser.mid_frame() && now - conn->last_activity > limit) {
+    // Cut (a) slow loris — a started frame that stalls mid-delivery — and
+    // (b) the write-side twin: a client that sends requests but never reads
+    // responses, pinning its wbuf and connection slot forever.
+    const bool read_stalled =
+        conn->parser.mid_frame() && now - conn->last_activity > limit;
+    const bool write_stalled =
+        conn->woff < conn->wbuf.size() && now - conn->write_since > limit;
+    if (read_stalled || write_stalled) {
       victims.push_back(conn);
     }
   }
@@ -441,7 +505,10 @@ void Server::io_loop() {
     sweep_timeouts();
   }
   // Graceful drain: stop reading, let in-flight crypto finish so executor
-  // tasks never touch freed connection state, then close everything.
+  // tasks never touch freed server or connection state, then close
+  // everything. A task decrements inflight_ only after its eventfd wake, so
+  // once this gate opens no task will read a member (or write the eventfd)
+  // again.
   while (inflight_.load() > 0) {
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 10);
     for (int i = 0; i < n; ++i) {
@@ -452,6 +519,10 @@ void Server::io_loop() {
     }
     drain_completions();
   }
+  // The last task may have completed between the drain above and the gate
+  // check: its completion is already pushed (push precedes the decrement),
+  // so one final drain flushes every remaining response.
+  drain_completions();
   std::vector<std::shared_ptr<Conn>> all;
   all.reserve(conns_.size());
   for (const auto& [fd, conn] : conns_) all.push_back(conn);

@@ -5,10 +5,12 @@
 // I/O thread never blocks on crypto and the executor threads never touch a
 // file descriptor — completed responses travel back over a completion queue
 // drained via an eventfd wakeup. Per connection the daemon keeps a pair of
-// crypto::Sessions (outbound seals, inbound opens, both derived from the one
-// master secret), and a `busy` flag serializes requests per connection so a
-// Session is only ever driven by one executor task at a time — pipelined
-// requests queue in arrival order.
+// crypto::Sessions (outbound seals under the s2c context, inbound opens
+// under c2s — both derived from the master secret plus the random
+// per-connection salt carried by the hello frame, see protocol.hpp), and a
+// `busy` flag serializes requests per connection so a Session is only ever
+// driven by one executor task at a time — pipelined requests queue in
+// arrival order.
 //
 // Overload policy is explicit, not emergent: at most `max_inflight` crypto
 // requests run or wait in the executor at once; a request arriving beyond
@@ -16,7 +18,9 @@
 // costs no crypto work — the daemon sheds instead of queuing without bound.
 // Connections beyond `max_connections` are accepted and closed on the spot.
 // A connection that starts a frame and stalls (slow loris) is cut when the
-// partial frame outlives `request_timeout_ms`.
+// partial frame outlives `request_timeout_ms`; so is one that stops reading
+// its responses — unflushed response bytes that make no progress for
+// `request_timeout_ms` cut the connection too, releasing its slot and wbuf.
 //
 // The listener is TCP (loopback by default) or a UNIX domain socket;
 // tools/mhhead.cpp is the CLI wrapper and bench/bench_server.cpp the
@@ -57,8 +61,9 @@ struct ServerConfig {
   /// Live connections beyond this are closed straight after accept.
   int max_connections = 1024;
   /// A connection with a started-but-unfinished frame older than this is
-  /// closed (slow-loris defense). Also bounds how long a shed/error response
-  /// may sit unflushed.
+  /// closed (slow-loris defense), as is one whose unflushed response bytes
+  /// make no write progress for this long (a client that sends but never
+  /// reads) — so a shed/error response never sits unflushed past this bound.
   int request_timeout_ms = 5000;
   /// Frame length cap; larger prefixes get kTooLarge and the connection is
   /// closed without buffering the body.
@@ -70,7 +75,7 @@ struct ServerStats {
   std::uint64_t accepted = 0;        // connections accepted and registered
   std::uint64_t rejected_conns = 0;  // closed at accept (connection cap)
   std::uint64_t requests_ok = 0;     // kOk responses
-  std::uint64_t requests_error = 0;  // kBadRequest/kAuthFailed/kReplayed/kTooLarge
+  std::uint64_t requests_error = 0;  // kBadRequest/kAuthFailed/kReplayed/kTooLarge/kInternal
   std::uint64_t shed = 0;            // kOverloaded responses
   std::uint64_t timeouts = 0;        // connections cut by the request timeout
 };
@@ -107,6 +112,10 @@ class Server {
   void pump_requests(const std::shared_ptr<Conn>& conn);
   void queue_response(const std::shared_ptr<Conn>& conn, Status status,
                       std::span<const std::uint8_t> body);
+  /// Append raw response bytes to the connection's write buffer (starting
+  /// the write-stall clock if it was empty) and flush opportunistically.
+  void append_wbuf(const std::shared_ptr<Conn>& conn,
+                   std::span<const std::uint8_t> bytes);
   void drain_completions();
   void close_conn(const std::shared_ptr<Conn>& conn);
   void sweep_timeouts();
@@ -118,10 +127,17 @@ class Server {
   int wake_fd_ = -1;  // eventfd: completion-queue and stop wakeups
   std::uint16_t port_ = 0;
   std::thread io_thread_;
+  // Serializes start()/stop() (and the destructor's stop()): concurrent
+  // stop() calls would otherwise race on io_thread_.join(), which is UB.
+  std::mutex lifecycle_mu_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
 
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // I/O thread only
+  // Admitted crypto tasks not yet fully finished. Incremented on the I/O
+  // thread before submit; decremented by the task itself AFTER its eventfd
+  // wake (its very last member access), so io_loop's shutdown drain gate
+  // (`inflight_ == 0`) proves no task can still touch the Server.
   std::atomic<int> inflight_{0};
 
   // Executor tasks push {conn, response}; the I/O thread drains after an

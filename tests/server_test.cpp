@@ -40,18 +40,30 @@ ServerConfig base_config() {
   return cfg;
 }
 
-/// Blocking client socket speaking the length-prefixed protocol.
+/// Blocking client socket speaking the length-prefixed protocol. The
+/// constructor consumes the server hello and keeps its per-connection salt;
+/// a connection the server closes at accept (connection cap) simply yields
+/// an empty salt.
 class Client {
  public:
-  explicit Client(std::uint16_t port) {
+  /// `rcvbuf` > 0 shrinks SO_RCVBUF before connecting, so the server's
+  /// responses back up almost immediately (the never-reading-client tests).
+  explicit Client(std::uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     EXPECT_GE(fd_, 0);
+    if (rcvbuf > 0) {
+      (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
     EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
         << std::strerror(errno);
+    if (auto hello = read_response();
+        hello.has_value() && status_of_tag(hello->tag) == Status::kHello) {
+      salt_ = std::move(hello->body);
+    }
   }
   ~Client() {
     if (fd_ >= 0) ::close(fd_);
@@ -91,12 +103,30 @@ class Client {
     fd_ = -1;
   }
 
+  /// The hello salt; this connection's sessions derive from it.
+  [[nodiscard]] const std::vector<std::uint8_t>& salt() const { return salt_; }
+
  private:
+  static Status status_of_tag(std::uint8_t tag) { return static_cast<Status>(tag); }
+
   int fd_ = -1;
   FrameParser parser_;
+  std::vector<std::uint8_t> salt_;
 };
 
 Status status_of(const Frame& f) { return static_cast<Status>(f.tag); }
+
+/// The client-side twin of the server's INBOUND session: seals requests
+/// under this connection's c2s context.
+crypto::Session client_outbound(const Client& c) {
+  return crypto::Session::from_master(kMaster, c2s_context(c.salt()));
+}
+
+/// The client-side twin of the server's OUTBOUND session: opens responses
+/// sealed under this connection's s2c context.
+crypto::Session client_inbound(const Client& c) {
+  return crypto::Session::from_master(kMaster, s2c_context(c.salt()));
+}
 
 TEST(ServerRoundTrip, PingSealOpen) {
   Server server(base_config());
@@ -115,11 +145,11 @@ TEST(ServerRoundTrip, PingSealOpen) {
   auto sealed = client.read_response();
   ASSERT_TRUE(sealed.has_value());
   ASSERT_EQ(status_of(*sealed), Status::kOk);
-  crypto::Session my_inbound = crypto::Session::from_master(kMaster);
+  crypto::Session my_inbound = client_inbound(client);
   EXPECT_EQ(my_inbound.open(sealed->body), msg);
 
   // kOpen: our outbound twin seals; the server's inbound session opens.
-  crypto::Session my_outbound = crypto::Session::from_master(kMaster);
+  crypto::Session my_outbound = client_outbound(client);
   const auto container = my_outbound.seal(msg);
   client.send_request(Op::kOpen, container);
   auto opened = client.read_response();
@@ -146,7 +176,7 @@ TEST(ServerRoundTrip, PipelinedRequestsAnswerInOrder) {
     msgs.push_back(bytes_of("pipelined message #" + std::to_string(i)));
     client.send_request(Op::kSeal, msgs.back());
   }
-  crypto::Session my_inbound = crypto::Session::from_master(kMaster);
+  crypto::Session my_inbound = client_inbound(client);
   for (int i = 0; i < kBurst; ++i) {
     auto resp = client.read_response();
     ASSERT_TRUE(resp.has_value()) << i;
@@ -234,7 +264,7 @@ TEST(ServerFailure, ForgedContainerIsAuthFailed) {
   Server server(base_config());
   server.start();
   Client client(server.port());
-  crypto::Session my_outbound = crypto::Session::from_master(kMaster);
+  crypto::Session my_outbound = client_outbound(client);
   auto container = my_outbound.seal(bytes_of("legitimate"));
   container.back() ^= 0x01;  // flip one ciphertext bit → MAC mismatch
   client.send_request(Op::kOpen, container);
@@ -248,7 +278,7 @@ TEST(ServerFailure, ReplayedNonceOverWireIsReplayed) {
   Server server(base_config());
   server.start();
   Client client(server.port());
-  crypto::Session my_outbound = crypto::Session::from_master(kMaster);
+  crypto::Session my_outbound = client_outbound(client);
   const auto container = my_outbound.seal(bytes_of("exactly once"));
 
   client.send_request(Op::kOpen, container);
@@ -378,6 +408,120 @@ TEST(ServerLifecycle, StopWithClientsConnectedIsClean) {
     EXPECT_EQ(status_of(*resp), Status::kOk);
     EXPECT_TRUE(client.server_closed());
   }
+}
+
+TEST(ServerHandshake, HelloCarriesUniquePerConnectionSalt) {
+  Server server(base_config());
+  server.start();
+  Client a(server.port());
+  Client b(server.port());
+  ASSERT_EQ(a.salt().size(), kConnSaltBytes);
+  ASSERT_EQ(b.salt().size(), kConnSaltBytes);
+  // Random per connection: identical salts would put both connections in
+  // the same nonce space (keystream reuse across connections).
+  EXPECT_NE(a.salt(), b.salt());
+  server.stop();
+}
+
+TEST(ServerHandshake, SameMessageSealsDifferentlyAcrossConnections) {
+  Server server(base_config());
+  server.start();
+  Client a(server.port());
+  Client b(server.port());
+  // Both connections seal the same message at nonce 0. Before the salted
+  // per-connection derivation the two containers were byte-identical —
+  // nonce-0 keystream shared across every connection (a two-time pad once
+  // the plaintexts differ).
+  const auto msg = bytes_of("identical plaintext, distinct keystream");
+  a.send_request(Op::kSeal, msg);
+  b.send_request(Op::kSeal, msg);
+  auto ra = a.read_response();
+  auto rb = b.read_response();
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  ASSERT_EQ(status_of(*ra), Status::kOk);
+  ASSERT_EQ(status_of(*rb), Status::kOk);
+  EXPECT_NE(ra->body, rb->body);
+  server.stop();
+}
+
+TEST(ServerHandshake, CrossConnectionContainerFailsAuthentication) {
+  Server server(base_config());
+  server.start();
+  Client a(server.port());
+  Client b(server.port());
+  // A perfectly authentic container from connection A replayed onto
+  // connection B: with per-connection salts the MACs do not cross-verify,
+  // so this is forgery (kAuthFailed), not merely a replay-window hit.
+  crypto::Session a_outbound = client_outbound(a);
+  const auto container = a_outbound.seal(bytes_of("bound to connection A"));
+  b.send_request(Op::kOpen, container);
+  auto resp = b.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(status_of(*resp), Status::kAuthFailed);
+
+  // On its own connection the very same container opens fine.
+  a.send_request(Op::kOpen, container);
+  auto ok = a.read_response();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(status_of(*ok), Status::kOk);
+  server.stop();
+}
+
+TEST(ServerHandshake, ReflectedResponseFailsAuthentication) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+  // Reflect a server-sealed response straight back as a kOpen request: the
+  // response lives in the s2c direction, the inbound session in c2s, so the
+  // directions' keys must not match (both counters start at nonce 0 — with
+  // one shared derivation the reflection would decrypt or merely count as a
+  // replay).
+  client.send_request(Op::kSeal, bytes_of("reflect me"));
+  auto sealed = client.read_response();
+  ASSERT_TRUE(sealed.has_value());
+  ASSERT_EQ(status_of(*sealed), Status::kOk);
+  client.send_request(Op::kOpen, sealed->body);
+  auto reflected = client.read_response();
+  ASSERT_TRUE(reflected.has_value());
+  EXPECT_EQ(status_of(*reflected), Status::kAuthFailed);
+  server.stop();
+}
+
+TEST(ServerFailure, NeverReadingClientIsCutByWriteTimeout) {
+  ServerConfig cfg = base_config();
+  cfg.request_timeout_ms = 300;
+  Server server(cfg);
+  server.start();
+  // Tiny receive buffer + sizeable responses: the server's flush stalls
+  // after a few frames. The client keeps sending complete requests (so the
+  // slow-loris mid-frame sweep never fires) but reads nothing.
+  Client hoarder(server.port(), /*rcvbuf=*/4096);
+  const std::vector<std::uint8_t> big(512 * 1024, 0x5A);
+  for (int i = 0; i < 16; ++i) hoarder.send_request(Op::kSeal, big);
+  // The write-stall sweep must cut the connection instead of pinning its
+  // wbuf and connection slot forever.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().timeouts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.stats().timeouts, 1u);
+  server.stop();
+}
+
+TEST(ServerLifecycle, ConcurrentStopIsSingleWinner) {
+  Server server(base_config());
+  server.start();
+  Client client(server.port());
+  client.send_request(Op::kPing, {});
+  ASSERT_TRUE(client.read_response().has_value());
+  // Two threads joining one std::thread is UB; the lifecycle mutex must make
+  // racing stop() calls single-winner (TSan in CI watches this test).
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) stoppers.emplace_back([&server] { server.stop(); });
+  for (auto& t : stoppers) t.join();
+  server.stop();  // and it stays idempotent afterwards
 }
 
 TEST(ServerLifecycle, RejectsBadConfig) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,46 @@ TEST(Session, FromMasterIsDeterministic) {
   // A different master produces a different container.
   Session c = Session::from_master(bytes_of("another master"));
   EXPECT_NE(c.seal(msg), Session::from_master(kMaster).seal(msg));
+}
+
+TEST(SessionContext, ContextDomainSeparatesSessionsUnderOneMaster) {
+  const auto ctx_a = bytes_of("mhhea-conn c2s" "\x01\x02\x03\x04");
+  const auto ctx_b = bytes_of("mhhea-conn s2c" "\x01\x02\x03\x04");
+  Session a = Session::from_master(kMaster, ctx_a);
+  Session b = Session::from_master(kMaster, ctx_b);
+  const auto msg = bytes_of("same master, different context");
+
+  // Same context on both endpoints interoperates exactly like from_master.
+  Session a_peer = Session::from_master(kMaster, ctx_a);
+  const auto sealed = a.seal(msg);
+  EXPECT_EQ(a_peer.open(sealed), msg);
+
+  // Different contexts share no keys: both sessions sit at nonce 0, yet the
+  // containers differ and do not cross-verify (MacError, not ReplayError —
+  // the cross-context container is a forgery there, not a reused nonce).
+  const auto sealed_b = b.seal(msg);
+  EXPECT_NE(sealed, sealed_b);
+  Session b_peer = Session::from_master(kMaster, ctx_b);
+  EXPECT_THROW((void)b_peer.open(sealed), MacError);
+
+  // Empty context is exactly the legacy derivation.
+  Session plain = Session::from_master(kMaster);
+  Session empty_ctx = Session::from_master(kMaster, std::span<const std::uint8_t>{});
+  EXPECT_EQ(plain.seal(msg), empty_ctx.seal(msg));
+}
+
+TEST(SessionContext, ScheduleContextChangesEverySubkey) {
+  const auto ctx = bytes_of("any public context");
+  const V2KeySchedule base = V2KeySchedule::derive(kMaster);
+  const V2KeySchedule mixed = V2KeySchedule::derive(kMaster, ctx);
+  const V2KeySchedule mixed_again = V2KeySchedule::derive(kMaster, ctx);
+  EXPECT_NE(static_cast<const MacKey&>(base.mac_key),
+            static_cast<const MacKey&>(mixed.mac_key));
+  EXPECT_NE(static_cast<const MacKey&>(base.seed_key),
+            static_cast<const MacKey&>(mixed.seed_key));
+  EXPECT_EQ(static_cast<const MacKey&>(mixed.mac_key),
+            static_cast<const MacKey&>(mixed_again.mac_key));
+  EXPECT_NE(base.cover_seed(0, 61), mixed.cover_seed(0, 61));
 }
 
 TEST(Session, CounterBecomesNonceAndAdvances) {
