@@ -16,6 +16,13 @@
 // round-trip of the first message guards against benchmarking a broken
 // configuration.
 //
+// Two payload corpora run per cipher: `random` (incompressible, the
+// historical sweep) over every column, and `text` (deterministic synthetic
+// log lines) over the sequential encrypt/decrypt cells — the compressible
+// shape that feeds the per-corpus "expansion" and
+// "effective_wire_mb_per_s" aggregates separating MHHEA-sealed-v2-z's
+// compress-then-encrypt pipeline from its uncompressed twin.
+//
 // Usage: bench_ciphers [--out FILE] [--quick] [--reps N] [--threads N]
 //                      [--shards N] [--seed S] [--backend auto|scalar|avx2]
 //   --reps N     repetitions per cell (default 9, or 2 with --quick; the
@@ -76,8 +83,16 @@ constexpr std::size_t kTargetBatchBytes = 1 << 20;  // ~1 MiB plaintext per batc
 enum class Dir { encrypt, decrypt };
 enum class Api { alloc, into };
 
+/// Payload corpus a cell runs over. `random` is the incompressible
+/// worst case every cipher has always been swept with; `text` is a
+/// deterministic synthetic log-line corpus — the compressible shape the
+/// compression pre-stage exists for, where the wire-expansion aggregates
+/// separate MHHEA-sealed-v2-z from its uncompressed twin.
+enum class Corpus { random, text };
+
 const char* dir_name(Dir d) { return d == Dir::encrypt ? "encrypt" : "decrypt"; }
 const char* api_name(Api a) { return a == Api::alloc ? "alloc" : "into"; }
+const char* corpus_name(Corpus c) { return c == Corpus::random ? "random" : "text"; }
 
 /// One sweep column: how many batch workers, how many intra-message shards
 /// per cipher instance, the direction and the API form. The thread sweep
@@ -97,6 +112,7 @@ struct CellResult {
   int shards = 1;
   Dir dir = Dir::encrypt;
   Api api = Api::alloc;
+  Corpus corpus = Corpus::random;
   std::size_t batch_size = 0;
   std::size_t reps = 0;
   double mb_per_s_mean = 0.0;
@@ -107,24 +123,44 @@ struct CellResult {
 };
 
 void cell_fill(CellResult& cell, const std::string& name, std::size_t msg_bytes,
-               SweepColumn col, std::size_t batch_size, std::size_t reps) {
+               SweepColumn col, Corpus corpus, std::size_t batch_size,
+               std::size_t reps) {
   cell.cipher = name;
   cell.msg_bytes = msg_bytes;
   cell.threads = col.threads;
   cell.shards = col.shards;
   cell.dir = col.dir;
   cell.api = col.api;
+  cell.corpus = corpus;
   cell.batch_size = batch_size;
   cell.reps = reps;
 }
 
 std::vector<std::vector<std::uint8_t>> make_messages(std::size_t msg_bytes,
-                                                     std::size_t batch_size) {
+                                                     std::size_t batch_size,
+                                                     Corpus corpus) {
   mhhea::util::Xoshiro256 rng(msg_bytes * 1000003 + batch_size);
   std::vector<std::vector<std::uint8_t>> msgs(batch_size);
   for (auto& m : msgs) {
+    m.reserve(msg_bytes);
+    if (corpus == Corpus::random) {
+      m.resize(msg_bytes);
+      for (auto& b : m) b = static_cast<std::uint8_t>(rng.below(256));
+      continue;
+    }
+    // Deterministic structured log lines: varied counters over a fixed
+    // template, the redundancy profile of real service telemetry.
+    static const char* const kLevels[] = {"INFO", "WARN", "DEBUG"};
+    while (m.size() < msg_bytes) {
+      const std::string line =
+          "2026-08-08T12:00:" + std::to_string(rng.below(60)) +
+          "Z svc=mhhead level=" + kLevels[rng.below(3)] +
+          " msg=\"request sealed\" conn=" + std::to_string(rng.below(1024)) +
+          " bytes=" + std::to_string(rng.below(65536)) +
+          " latency_us=" + std::to_string(rng.below(10000)) + " status=ok\n";
+      m.insert(m.end(), line.begin(), line.end());
+    }
     m.resize(msg_bytes);
-    for (auto& b : m) b = static_cast<std::uint8_t>(rng.below(256));
   }
   return msgs;
 }
@@ -134,7 +170,7 @@ std::vector<std::vector<std::uint8_t>> make_messages(std::size_t msg_bytes,
 /// single column. Returns one cell per column.
 std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes,
                                   const std::vector<SweepColumn>& columns,
-                                  std::size_t reps) {
+                                  Corpus corpus, std::size_t reps) {
   int max_threads = 1;
   int max_shards = 1;
   for (const SweepColumn& c : columns) {
@@ -144,7 +180,7 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
   const std::size_t batch_size =
       std::max<std::size_t>(kTargetBatchBytes / std::max<std::size_t>(msg_bytes, 1),
                             static_cast<std::size_t>(max_threads) * 4);
-  const auto msgs = make_messages(msg_bytes, batch_size);
+  const auto msgs = make_messages(msg_bytes, batch_size, corpus);
   const auto maker_for = [&](int shards) {
     return [&, shards] { return CipherRegistry::builtin().make(name, g_cipher_seed, shards); };
   };
@@ -182,7 +218,7 @@ std::vector<CellResult> run_cells(const std::string& name, std::size_t msg_bytes
   bool wants_decrypt = false;
   bool wants_into = false;
   for (std::size_t t = 0; t < columns.size(); ++t) {
-    cell_fill(cells[t], name, msg_bytes, columns[t], batch_size, reps);
+    cell_fill(cells[t], name, msg_bytes, columns[t], corpus, batch_size, reps);
     if (columns[t].threads == 1) col_cipher[t] = maker_for(columns[t].shards)();
     wants_decrypt = wants_decrypt || columns[t].dir == Dir::decrypt;
     wants_into = wants_into || columns[t].api == Api::into;
@@ -310,7 +346,9 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   {
     std::map<std::string, std::array<double, 2>> sums;
     for (const auto& c : cells) {
-      if (c.shards != 1 || c.dir != Dir::encrypt || c.api != Api::alloc) continue;
+      if (c.shards != 1 || c.dir != Dir::encrypt || c.api != Api::alloc ||
+          c.corpus != Corpus::random)
+        continue;
       sums[c.cipher][c.threads == 1 ? 0 : 1] += c.mb_per_s_max;
     }
     bool first = true;
@@ -337,7 +375,8 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
     // cipher -> shards -> msg_bytes -> best-rep MB/s (threads=1 cells only)
     std::map<std::string, std::map<int, std::map<std::size_t, double>>> grid;
     for (const auto& c : cells) {
-      if (c.threads == 1 && c.dir == Dir::encrypt && c.api == Api::alloc) {
+      if (c.threads == 1 && c.dir == Dir::encrypt && c.api == Api::alloc &&
+          c.corpus == Corpus::random) {
         grid[c.cipher][c.shards][c.msg_bytes] = c.mb_per_s_max;
       }
     }
@@ -365,7 +404,8 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   } else {
     std::map<std::string, bool> names;
     for (const auto& c : cells) {
-      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt && c.api == Api::alloc)
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt &&
+          c.api == Api::alloc && c.corpus == Corpus::random)
         names[c.cipher] = true;
     }
     bool first = true;
@@ -383,7 +423,8 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   {
     std::map<std::string, std::array<double, 2>> sums;  // {total, count}
     for (const auto& c : cells) {
-      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::decrypt && c.api == Api::alloc) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::decrypt &&
+          c.api == Api::alloc && c.corpus == Corpus::random) {
         sums[c.cipher][0] += c.mb_per_s_mean;
         sums[c.cipher][1] += 1.0;
       }
@@ -402,7 +443,8 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   {
     std::map<std::string, std::array<double, 2>> sums;  // {alloc, into}
     for (const auto& c : cells) {
-      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt &&
+          c.corpus == Corpus::random) {
         sums[c.cipher][c.api == Api::alloc ? 0 : 1] += c.mb_per_s_max;
       }
     }
@@ -422,7 +464,8 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
   {
     std::map<std::string, double> sums;  // cipher -> total best-rep MB/s
     for (const auto& c : cells) {
-      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt &&
+          c.corpus == Corpus::random) {
         sums[c.cipher] += c.mb_per_s_max;
       }
     }
@@ -433,6 +476,58 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
     }
   }
   os << "},\n";
+  // Wire-cost aggregates per cipher per corpus (sequential encrypt/alloc
+  // cells, means across sizes). `expansion` is wire bytes per plaintext
+  // byte AFTER the compression pre-stage — the number the compress-then-
+  // encrypt pipeline exists to cut on the text corpus (the random corpus
+  // pins the incompressible fallback at the raw container ratio).
+  // `effective_wire_mb_per_s` is the wire-byte emission rate (plaintext
+  // MB/s x expansion): what a link carrying this cipher's frames must
+  // sustain per MB/s of goodput.
+  os << "  \"expansion\": {";
+  {
+    // cipher -> corpus index {random, text} -> {sum, count}
+    std::map<std::string, std::array<std::array<double, 2>, 2>> sums;
+    for (const auto& c : cells) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt &&
+          c.api == Api::alloc) {
+        auto& slot = sums[c.cipher][c.corpus == Corpus::random ? 0 : 1];
+        slot[0] += c.expansion;
+        slot[1] += 1.0;
+      }
+    }
+    bool first = true;
+    for (const auto& [name, by_corpus] : sums) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": {\"random\": "
+         << (by_corpus[0][1] > 0.0 ? by_corpus[0][0] / by_corpus[0][1] : 0.0)
+         << ", \"text\": "
+         << (by_corpus[1][1] > 0.0 ? by_corpus[1][0] / by_corpus[1][1] : 0.0) << "}";
+      first = false;
+    }
+  }
+  os << "},\n";
+  os << "  \"effective_wire_mb_per_s\": {";
+  {
+    // cipher -> corpus index -> {sum of mbps*expansion, count}
+    std::map<std::string, std::array<std::array<double, 2>, 2>> sums;
+    for (const auto& c : cells) {
+      if (c.threads == 1 && c.shards == 1 && c.dir == Dir::encrypt &&
+          c.api == Api::alloc) {
+        auto& slot = sums[c.cipher][c.corpus == Corpus::random ? 0 : 1];
+        slot[0] += c.mb_per_s_mean * c.expansion;
+        slot[1] += 1.0;
+      }
+    }
+    bool first = true;
+    for (const auto& [name, by_corpus] : sums) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": {\"random\": "
+         << (by_corpus[0][1] > 0.0 ? by_corpus[0][0] / by_corpus[0][1] : 0.0)
+         << ", \"text\": "
+         << (by_corpus[1][1] > 0.0 ? by_corpus[1][0] / by_corpus[1][1] : 0.0) << "}";
+      first = false;
+    }
+  }
+  os << "},\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];
@@ -440,7 +535,7 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
        << backend_name << "\", \"msg_bytes\": "
        << c.msg_bytes << ", \"threads\": " << c.threads << ", \"shards\": " << c.shards
        << ", \"dir\": \"" << dir_name(c.dir) << "\", \"api\": \"" << api_name(c.api)
-       << "\", \"batch_size\": "
+       << "\", \"corpus\": \"" << corpus_name(c.corpus) << "\", \"batch_size\": "
        << c.batch_size << ", \"reps\": " << c.reps << ", \"mb_per_s_mean\": "
        << c.mb_per_s_mean << ", \"mb_per_s_max\": " << c.mb_per_s_max
        << ", \"mb_per_s_stddev\": " << c.mb_per_s_stddev << ", \"expansion\": "
@@ -534,18 +629,28 @@ int main(int argc, char** argv) try {
   const std::vector<std::size_t> sizes = {64, 1024, 16384};
   const std::size_t reps = reps_flag > 0 ? reps_flag : (quick ? 2 : 9);
 
+  // The text corpus sweeps the sequential encrypt/decrypt alloc cells only:
+  // its purpose is the wire-expansion and effective-wire-throughput
+  // aggregates, not a second copy of the thread/shard scaling axes.
+  const std::vector<SweepColumn> text_columns = {{1, 1, Dir::encrypt, Api::alloc},
+                                                 {1, 1, Dir::decrypt, Api::alloc}};
+
   std::vector<CellResult> cells;
   for (const auto& name : CipherRegistry::builtin().names()) {
-    for (std::size_t msg_bytes : sizes) {
-      for (auto& cell : run_cells(name, msg_bytes, columns, reps)) {
-        std::cout << cell.cipher << " msg=" << cell.msg_bytes << "B threads="
-                  << cell.threads << " shards=" << cell.shards << " "
-                  << dir_name(cell.dir) << "/" << api_name(cell.api) << " batch="
-                  << cell.batch_size << ": "
-                  << cell.mb_per_s_mean << " MB/s (max " << cell.mb_per_s_max
-                  << ", sd " << cell.mb_per_s_stddev << "), expansion "
-                  << cell.expansion << ", " << cell.ns_per_block << " ns/block\n";
-        cells.push_back(std::move(cell));
+    for (Corpus corpus : {Corpus::random, Corpus::text}) {
+      const auto& cols = corpus == Corpus::random ? columns : text_columns;
+      for (std::size_t msg_bytes : sizes) {
+        for (auto& cell : run_cells(name, msg_bytes, cols, corpus, reps)) {
+          std::cout << cell.cipher << " msg=" << cell.msg_bytes << "B threads="
+                    << cell.threads << " shards=" << cell.shards << " "
+                    << dir_name(cell.dir) << "/" << api_name(cell.api) << " corpus="
+                    << corpus_name(cell.corpus) << " batch="
+                    << cell.batch_size << ": "
+                    << cell.mb_per_s_mean << " MB/s (max " << cell.mb_per_s_max
+                    << ", sd " << cell.mb_per_s_stddev << "), expansion "
+                    << cell.expansion << ", " << cell.ns_per_block << " ns/block\n";
+          cells.push_back(std::move(cell));
+        }
       }
     }
   }

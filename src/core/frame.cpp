@@ -29,15 +29,19 @@ void frame_encode_header(const FrameHeader& header, std::span<std::uint8_t> out)
   if (header.version == 1 && header.nonce != 0) {
     throw std::invalid_argument("frame: v1 header cannot carry a nonce");
   }
+  if (header.version == 1 && header.compression != 0) {
+    throw std::invalid_argument("frame: v1 header cannot carry a compression method");
+  }
   if (out.size() < header.header_size()) {
     throw std::length_error("frame: output buffer shorter than header");
   }
   std::memcpy(out.data(), kMagic, 4);
   out[4] = static_cast<std::uint8_t>(header.version);
   const std::uint8_t policy_bit = header.params.policy == FramePolicy::framed ? 1 : 0;
+  const std::uint8_t z_bit = header.compression != 0 ? 0x08 : 0;
   out[5] = static_cast<std::uint8_t>(
-      policy_bit | (log2_vector_scale(header.params.vector_bits) << 1));
-  out[6] = 0;
+      policy_bit | (log2_vector_scale(header.params.vector_bits) << 1) | z_bit);
+  out[6] = header.compression;
   out[7] = 0;
   util::store_le(out.data() + 8, header.message_bits, 8);
   if (header.version == 2) util::store_le(out.data() + 16, header.nonce, 8);
@@ -66,14 +70,26 @@ FrameHeader frame_decode(std::span<const std::uint8_t> framed,
   if (framed[4] != 1 && framed[4] != 2) {
     throw std::invalid_argument("frame: unsupported version");
   }
-  if ((framed[5] & ~0x07) != 0) {
+  // v2 grew the compressed-envelope flag (bit 3) and method byte; in v1 both
+  // stay reserved-zero, so a v1 container can never smuggle one in.
+  const bool v2 = framed[4] == 2;
+  if ((framed[5] & (v2 ? ~0x0F : ~0x07)) != 0) {
     throw std::invalid_argument("frame: reserved flag bits must be zero");
   }
-  if (framed[6] != 0 || framed[7] != 0) {
+  const bool compressed = v2 && (framed[5] & 0x08) != 0;
+  if (compressed && framed[6] == 0) {
+    throw std::invalid_argument("frame: compressed flag without a method byte");
+  }
+  if (!compressed && framed[6] != 0) {
+    throw std::invalid_argument(v2 ? "frame: compression method byte without its flag"
+                                   : "frame: reserved bytes must be zero");
+  }
+  if (framed[7] != 0) {
     throw std::invalid_argument("frame: reserved bytes must be zero");
   }
   FrameHeader h;
   h.version = framed[4];
+  h.compression = compressed ? framed[6] : 0;
   h.params.policy = (framed[5] & 1) != 0 ? FramePolicy::framed : FramePolicy::continuous;
   switch ((framed[5] >> 1) & 0x3) {
     case 0: h.params.vector_bits = 16; break;

@@ -8,8 +8,11 @@
 //   0       4     magic "MHEA"
 //   4       1     format version (1 or 2)
 //   5       1     flags: bit0 = framed policy, bits 2..1 = log2(N/16),
-//                 bits 7..3 reserved (0)
-//   6       2     reserved (0)
+//                 bit3 = compressed envelope (v2 only, 0 in v1),
+//                 bits 7..4 reserved (0)
+//   6       1     compression method tag (v2 only, nonzero iff flags bit3
+//                 is set — compress::Method; 0 in v1)
+//   7       1     reserved (0)
 //   8       8     message length in bits (little-endian)
 //   16      ...   v1: ciphertext blocks (N/8 bytes each, little-endian)
 //
@@ -21,6 +24,15 @@
 //   16      8     nonce / message counter (little-endian)
 //   24      ...   ciphertext blocks (N/8 bytes each, little-endian)
 //   end-16  16    SipHash-2-4-128 tag over header || ciphertext
+//
+// When the compressed flag is set, the sealed "message" is a compression
+// envelope (src/compress: method tag, varint raw size, stream) rather than
+// the plaintext, `message length in bits` counts the envelope's bits, and
+// the header's method byte repeats the envelope's tag — the opener
+// cross-checks the two after MAC verification and decryption, so neither can
+// be swapped independently. An uncompressed v2 container (flag clear, method
+// byte 0) is byte-identical to the pre-compression format, which is what
+// keeps the existing known-answer vectors valid.
 //
 // The header is integrity-checked on parse (magic, version, vector size,
 // length vs payload). In v1 the LFSR seed is deliberately absent — it is a
@@ -44,6 +56,9 @@ struct FrameHeader {
   std::uint64_t message_bits = 0;
   int version = 1;
   std::uint64_t nonce = 0;  // v2 only; must be 0 when version == 1
+  // v2 only: compression method tag of the embedded envelope (0 = the
+  // payload is the plaintext itself; must be 0 when version == 1).
+  std::uint8_t compression = 0;
 
   static constexpr std::size_t kSize = 16;       // v1 header bytes
   static constexpr std::size_t kSizeV2 = 24;     // v2 header bytes (v1 + nonce)

@@ -85,7 +85,59 @@ MhheaCipher::MhheaCipher(core::Key key, std::uint64_t seed, const V2KeySchedule&
   }
 }
 
-MhheaCipher::~MhheaCipher() { util::secure_wipe_object(seed_); }
+namespace {
+/// Messages below this never attempt compression: the envelope's tag +
+/// varint (and Huffman's 128-byte table) cannot win much, the probe's sample
+/// is too small to mean anything, and even the probe itself is measurable
+/// next to a sub-2us seal — the 64-byte bench cell sits below this floor so
+/// incompressible small-message throughput is untouched by construction.
+constexpr std::size_t kMinCompressBytes = 96;
+}  // namespace
+
+MhheaCipher::~MhheaCipher() {
+  util::secure_wipe_object(seed_);
+  // The envelope scratch held (compressed) plaintext.
+  util::secure_wipe(z_seal_buf_.data(), z_seal_buf_.size());
+  util::secure_wipe(z_open_buf_.data(), z_open_buf_.size());
+}
+
+void MhheaCipher::set_compression(compress::Method method) {
+  require_v2("set_compression");
+  if (!compress::method_known(static_cast<std::uint8_t>(method))) {
+    throw std::invalid_argument("MhheaCipher::set_compression: unknown method");
+  }
+  compression_ = method;
+}
+
+compress::Compressor& MhheaCipher::compressor_for(std::uint8_t tag) {
+  if (!compress::method_known(tag)) {
+    throw std::invalid_argument("MhheaCipher: unknown compression method tag");
+  }
+  auto& slot = compressors_[tag];
+  if (!slot) slot = compress::make_compressor(static_cast<compress::Method>(tag));
+  return *slot;
+}
+
+MhheaCipher::SealBody MhheaCipher::make_seal_body(std::span<const std::uint8_t> msg) {
+  if (compression_ == compress::Method::raw || msg.size() < kMinCompressBytes ||
+      !compress::probably_compressible(msg)) {
+    return {msg, 0};
+  }
+  const auto tag = static_cast<std::uint8_t>(compression_);
+  compress::Compressor& comp = compressor_for(tag);
+  const std::size_t head = 1 + compress::varint_size(msg.size());
+  const std::size_t cap = head + comp.max_compressed_size(msg.size());
+  if (z_seal_buf_.size() < cap) z_seal_buf_.resize(cap);
+  z_seal_buf_[0] = tag;
+  (void)compress::varint_encode(msg.size(), std::span(z_seal_buf_).subspan(1));
+  const std::size_t stream =
+      comp.compress_into(msg, std::span(z_seal_buf_).subspan(head));
+  // Strictly smaller or fall back: a compressed frame must never be larger
+  // than (or equal to) its uncompressed twin, and the fallback keeps
+  // incompressible output byte-identical to a compression-disabled cipher.
+  if (head + stream >= msg.size()) return {msg, 0};
+  return {std::span<const std::uint8_t>(z_seal_buf_).first(head + stream), tag};
+}
 
 std::uint64_t MhheaCipher::v2_cover_seed(std::uint64_t nonce) const {
   // The cover LFSR's degree caps the usable seed bits (64-bit vectors run a
@@ -144,6 +196,20 @@ std::size_t MhheaCipher::decrypt_into(std::span<const std::uint8_t> cipher,
     // Authenticate first — on any tampering this throws before a single
     // block is decrypted.
     const V2Opened opened = open_v2_authenticate(cipher);
+    if (opened.header.compression != 0) {
+      // Compressed container: the header counts envelope bits, so the
+      // caller's declared length is checked against the envelope's raw size
+      // (decrypted into scratch — `out` stays untouched on mismatch).
+      const EnvelopeView env = decrypt_v2_envelope(opened);
+      if (env.raw_size != msg_bytes) {
+        throw std::invalid_argument("MhheaCipher: sealed header length mismatch");
+      }
+      if (out.size() < msg_bytes) {
+        throw std::length_error("MhheaCipher::decrypt_into: output buffer too small");
+      }
+      return compressor_for(static_cast<std::uint8_t>(env.method))
+          .decompress_into(env.stream, env.raw_size, out.first(env.raw_size));
+    }
     if (opened.header.message_bits != message_bits) {
       throw std::invalid_argument("MhheaCipher: sealed header length mismatch");
     }
@@ -209,21 +275,26 @@ std::size_t MhheaCipher::seal_v2_into(std::span<const std::uint8_t> msg, std::ui
   if (out.size() < core::FrameHeader::kOverheadV2) {
     throw std::length_error("MhheaCipher::seal_v2_into: output buffer too small");
   }
+  // Compression pre-stage: seal the envelope when it wins, the message
+  // itself otherwise (body.method == 0 then, and the frame is byte-identical
+  // to a compression-disabled seal).
+  const SealBody body = make_seal_body(msg);
   set_nonce(nonce);
   // Blocks land between the header and the trailer; encrypt_into's own
   // length_error covers a payload slice that cannot hold them.
   std::span<std::uint8_t> payload = out.subspan(
       core::FrameHeader::kSizeV2, out.size() - core::FrameHeader::kOverheadV2);
-  const int eff = std::min(effective_shards(shards_, msg.size()), workers_);
+  const int eff = std::min(effective_shards(shards_, body.bytes.size()), workers_);
   const std::size_t raw =
-      eff > 1 ? core::encrypt_sharded_into(msg, key_, *cover_proto_, eff, exec_,
+      eff > 1 ? core::encrypt_sharded_into(body.bytes, key_, *cover_proto_, eff, exec_,
                                            payload, params_)
-              : enc_.encrypt_into(msg, payload);
+              : enc_.encrypt_into(body.bytes, payload);
   core::FrameHeader h;
   h.version = 2;
   h.nonce = nonce;
   h.params = params_;
-  h.message_bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  h.message_bits = static_cast<std::uint64_t>(body.bytes.size()) * 8;
+  h.compression = body.method;
   core::frame_encode_header(h, out);
   const std::size_t authed = core::FrameHeader::kSizeV2 + raw;
   const MacTag tag = siphash128(sched_.mac_key, out.first(authed));
@@ -260,9 +331,8 @@ MhheaCipher::V2Opened MhheaCipher::open_v2_authenticate(
   return {h, payload};
 }
 
-std::size_t MhheaCipher::decrypt_v2_payload(const V2Opened& opened,
-                                            std::span<std::uint8_t> out) {
-  require_v2("decrypt_v2_payload");
+std::size_t MhheaCipher::decrypt_v2_blocks(const V2Opened& opened,
+                                           std::span<std::uint8_t> out) {
   const std::uint64_t bits = opened.header.message_bits;
   if (bits % 8 == 0) {
     const auto msg_bytes = static_cast<std::size_t>(bits / 8);
@@ -273,6 +343,60 @@ std::size_t MhheaCipher::decrypt_v2_payload(const V2Opened& opened,
     }
   }
   return dec_.decrypt_into(opened.payload, bits, out);
+}
+
+MhheaCipher::EnvelopeView MhheaCipher::decrypt_v2_envelope(const V2Opened& opened) {
+  // All structural rejections here run post-MAC and decrypt only into the
+  // instance scratch — a caller's output buffer is never touched on failure.
+  const std::uint8_t tag = opened.header.compression;
+  compress::Compressor& comp = compressor_for(tag);  // rejects unknown tags
+  const std::uint64_t bits = opened.header.message_bits;
+  if (bits % 8 != 0) {
+    throw std::invalid_argument("MhheaCipher: compressed envelope not byte-aligned");
+  }
+  const auto env_bytes = static_cast<std::size_t>(bits / 8);
+  if (z_open_buf_.size() < env_bytes) z_open_buf_.resize(env_bytes);
+  const std::span<std::uint8_t> env = std::span(z_open_buf_).first(env_bytes);
+  (void)decrypt_v2_blocks(opened, env);
+  if (env.empty() || env[0] != tag) {
+    throw std::invalid_argument(
+        "MhheaCipher: envelope method does not match the header");
+  }
+  std::uint64_t raw_size = 0;
+  const std::size_t varint = compress::varint_decode(env.subspan(1), &raw_size);
+  const std::span<const std::uint8_t> stream = env.subspan(1 + varint);
+  // The declared size is MAC-covered, but cap it against the stream's best
+  // possible ratio anyway — a hard bound beats trusting arithmetic.
+  if (raw_size > comp.max_decoded_size(stream.size())) {
+    throw std::invalid_argument("MhheaCipher: envelope declares an impossible size");
+  }
+  return {static_cast<compress::Method>(tag), static_cast<std::size_t>(raw_size), stream};
+}
+
+std::size_t MhheaCipher::decrypt_v2_payload(const V2Opened& opened,
+                                            std::span<std::uint8_t> out) {
+  require_v2("decrypt_v2_payload");
+  if (opened.header.compression == 0) return decrypt_v2_blocks(opened, out);
+  const EnvelopeView env = decrypt_v2_envelope(opened);
+  if (out.size() < env.raw_size) {
+    throw std::length_error("MhheaCipher::decrypt_v2_payload: output buffer too small");
+  }
+  return compressor_for(static_cast<std::uint8_t>(env.method))
+      .decompress_into(env.stream, env.raw_size, out.first(env.raw_size));
+}
+
+std::vector<std::uint8_t> MhheaCipher::open_v2_alloc(const V2Opened& opened) {
+  require_v2("open_v2_alloc");
+  if (opened.header.compression == 0) {
+    std::vector<std::uint8_t> msg((opened.header.message_bits + 7) / 8);
+    (void)decrypt_v2_blocks(opened, msg);
+    return msg;
+  }
+  const EnvelopeView env = decrypt_v2_envelope(opened);
+  std::vector<std::uint8_t> msg(env.raw_size);
+  (void)compressor_for(static_cast<std::uint8_t>(env.method))
+      .decompress_into(env.stream, env.raw_size, msg);
+  return msg;
 }
 
 }  // namespace mhhea::crypto

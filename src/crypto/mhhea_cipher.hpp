@@ -27,9 +27,12 @@
 // drives with its auto-incrementing counter and replay window.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "src/compress/compress.hpp"
 #include "src/core/cover.hpp"
 #include "src/core/frame.hpp"
 #include "src/core/key.hpp"
@@ -85,7 +88,9 @@ class MhheaCipher final : public Cipher {
   [[nodiscard]] std::string name() const override {
     switch (framing_) {
       case Framing::sealed: return "MHHEA-sealed";
-      case Framing::sealed_v2: return "MHHEA-sealed-v2";
+      case Framing::sealed_v2:
+        return compression_ == compress::Method::raw ? "MHHEA-sealed-v2"
+                                                     : "MHHEA-sealed-v2-z";
       default: return "MHHEA";
     }
   }
@@ -115,6 +120,16 @@ class MhheaCipher final : public Cipher {
 
   // --- sealed_v2 entry points (std::logic_error under other framings) ---
 
+  /// Compression pre-stage for outbound seals (src/compress): when not raw,
+  /// seal_v2_into first compresses the message into a self-describing
+  /// envelope and seals that instead — strictly-smaller-or-fallback, so a
+  /// frame is never larger than its uncompressed twin and incompressible
+  /// messages produce byte-identical uncompressed containers. Opening is
+  /// always method-agnostic (the wire format self-describes), so this knob
+  /// only shapes what THIS cipher sends.
+  void set_compression(compress::Method method);
+  [[nodiscard]] compress::Method compression() const noexcept { return compression_; }
+
   /// Seal `msg` under an explicit `nonce`: v2 header + ciphertext blocks +
   /// MAC over everything before the tag, written into `out` (std::length_error
   /// when it cannot fit). Returns the container bytes. The cover is re-seeded
@@ -138,9 +153,17 @@ class MhheaCipher final : public Cipher {
   /// authenticated nonces only.
   [[nodiscard]] V2Opened open_v2_authenticate(std::span<const std::uint8_t> framed) const;
   /// Decrypt an authenticated container's payload into `out` (zero-padded to
-  /// whole bytes), returning ceil(message_bits/8). std::length_error when
-  /// `out` is too small.
+  /// whole bytes), returning the plaintext bytes: ceil(message_bits/8) for an
+  /// uncompressed container, the envelope's declared raw size after
+  /// decompression for a compressed one. std::length_error when `out` is too
+  /// small; std::invalid_argument on an unknown method tag, a tag/header
+  /// mismatch or a corrupt envelope (all post-MAC — `out` is untouched).
   std::size_t decrypt_v2_payload(const V2Opened& opened, std::span<std::uint8_t> out);
+  /// Allocating open of an authenticated container: sizes the plaintext from
+  /// the header (or the envelope's raw size once decrypted) and returns it —
+  /// what Session::open drives, since a compressed container's plaintext
+  /// size is only known after the envelope is decrypted.
+  [[nodiscard]] std::vector<std::uint8_t> open_v2_alloc(const V2Opened& opened);
 
   [[nodiscard]] const core::Key& key() const noexcept { return key_; }
   [[nodiscard]] const core::BlockParams& params() const noexcept { return params_; }
@@ -155,6 +178,30 @@ class MhheaCipher final : public Cipher {
 
   /// Cover seed for sealed_v2 under `nonce` (other framings use seed_).
   [[nodiscard]] std::uint64_t v2_cover_seed(std::uint64_t nonce) const;
+  /// Lazily built engine for `tag` (any known method — the opener must be
+  /// able to decode whatever a peer negotiated, not just compression_).
+  /// std::invalid_argument on an unknown tag.
+  [[nodiscard]] compress::Compressor& compressor_for(std::uint8_t tag);
+  /// Compress `msg` into the z_buf_ envelope when compression is on and
+  /// wins; returns the bytes to seal (the envelope, or `msg` on fallback)
+  /// plus the header method tag (0 on fallback).
+  struct SealBody {
+    std::span<const std::uint8_t> bytes;
+    std::uint8_t method = 0;
+  };
+  [[nodiscard]] SealBody make_seal_body(std::span<const std::uint8_t> msg);
+  /// Decrypted-and-parsed view of a compressed container's envelope (stream
+  /// points into z_open_buf_, valid until the next open on this instance).
+  struct EnvelopeView {
+    compress::Method method = compress::Method::raw;
+    std::size_t raw_size = 0;
+    std::span<const std::uint8_t> stream;
+  };
+  /// Decrypt a compressed container's envelope into z_open_buf_ and validate
+  /// its structure (tag vs header, varint, declared-size sanity cap).
+  [[nodiscard]] EnvelopeView decrypt_v2_envelope(const V2Opened& opened);
+  /// The uncompressed block-decrypt half of decrypt_v2_payload.
+  std::size_t decrypt_v2_blocks(const V2Opened& opened, std::span<std::uint8_t> out);
   /// Point the encryptor core (and the shard prototype) at `nonce`'s derived
   /// cover seed. No-op when already there — consecutive same-nonce calls
   /// (size query then seal) pay one derivation, zero reseeds.
@@ -170,6 +217,15 @@ class MhheaCipher final : public Cipher {
   std::uint64_t cur_nonce_ = 0;  // nonce enc_/cover_proto_ are seeded for
   core::Encryptor enc_;  // reusable core, reset per encrypt()
   core::Decryptor dec_;  // reusable core, reset per decrypt()
+  // Compression pre-stage (sealed_v2 only): the outbound method knob, the
+  // lazily built per-method engines (indexed by tag — openers may need any
+  // of them), and the grow-only envelope scratch for each direction. The
+  // scratch holds plaintext-derived bytes, so the destructor wipes it along
+  // with the other secrets.
+  compress::Method compression_ = compress::Method::raw;
+  std::array<std::unique_ptr<compress::Compressor>, compress::kMethodCount> compressors_;
+  std::vector<std::uint8_t> z_seal_buf_;
+  std::vector<std::uint8_t> z_open_buf_;
   double expansion_;
   std::uint64_t cycle_min_bits_;  // sum of per-pair minimum widths (for the bound)
   // Sharded-mode state (null when the shards knob or the host resolves to a

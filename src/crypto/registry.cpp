@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/compress/compress.hpp"
 #include "src/core/key.hpp"
 #include "src/core/params.hpp"
 #include "src/crypto/hhea_cipher.hpp"
@@ -96,6 +97,21 @@ const CipherRegistry& CipherRegistry::builtin() {
       core::Key key = core::Key::random(rng, kRegistryKeyPairs, params);
       return std::make_unique<MhheaCipher>(std::move(key), rng.next(), params,
                                            MhheaCipher::Framing::sealed_v2, shards);
+    });
+    // The compression pre-stage over the same authenticated container:
+    // identical key/schedule derivation to MHHEA-sealed-v2 (same seed ->
+    // same frames when compression falls back), with LZSS negotiated for
+    // outbound seals — the configuration the wire-expansion aggregates
+    // compare against its uncompressed twin.
+    r.register_cipher("MHHEA-sealed-v2-z",
+                      [](std::uint64_t seed, int shards) -> std::unique_ptr<Cipher> {
+      util::Xoshiro256 rng(seed);
+      const auto params = core::BlockParams::hardware();
+      core::Key key = core::Key::random(rng, kRegistryKeyPairs, params);
+      auto cipher = std::make_unique<MhheaCipher>(std::move(key), rng.next(), params,
+                                                  MhheaCipher::Framing::sealed_v2, shards);
+      cipher->set_compression(compress::Method::lzss);
+      return cipher;
     });
     r.register_cipher("HHEA", [](std::uint64_t seed, int shards) -> std::unique_ptr<Cipher> {
       util::Xoshiro256 rng(seed);

@@ -112,8 +112,9 @@ void Session::commit_replay(std::uint64_t nonce) {
 std::vector<std::uint8_t> Session::open(std::span<const std::uint8_t> framed) {
   const MhheaCipher::V2Opened opened = cipher_.open_v2_authenticate(framed);
   check_replay(opened.header.nonce);
-  std::vector<std::uint8_t> msg((opened.header.message_bits + 7) / 8);
-  (void)cipher_.decrypt_v2_payload(opened, msg);
+  // open_v2_alloc sizes the plaintext itself: for a compressed container the
+  // header counts envelope bits, not message bytes.
+  std::vector<std::uint8_t> msg = cipher_.open_v2_alloc(opened);
   commit_replay(opened.header.nonce);
   return msg;
 }

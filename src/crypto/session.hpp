@@ -128,6 +128,16 @@ class Session {
     return cipher_.max_ciphertext_size(msg_bytes);
   }
 
+  /// Compression method for outbound seals (compress-then-encrypt with
+  /// automatic fallback — MhheaCipher::set_compression semantics). Opening
+  /// is always method-agnostic, so peers only need to agree on what each
+  /// SENDER uses; the server protocol negotiates it via the hello frame's
+  /// supported-methods mask.
+  void set_compression(compress::Method method) { cipher_.set_compression(method); }
+  [[nodiscard]] compress::Method compression() const noexcept {
+    return cipher_.compression();
+  }
+
   /// The nonce the next seal() will use.
   [[nodiscard]] std::uint64_t next_nonce() const noexcept { return next_nonce_; }
   [[nodiscard]] const MhheaCipher& cipher() const noexcept { return cipher_; }

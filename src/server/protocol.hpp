@@ -15,15 +15,25 @@
 // not buffer an unbounded body).
 //
 // Handshake: the FIRST frame on every connection is an unsolicited server
-// hello — status kHello, body = a kConnSaltBytes random salt. Each side then
-// derives its Session pair with a context of direction label plus that salt
-// (c2s_context/s2c_context below): the client seals requests under c2s and
-// opens responses under s2c, the server mirrors it. Without the salt every
-// connection (and both directions of one connection) would derive identical
-// keys with nonce counters starting at 0 — the same per-nonce keystream
-// protecting different plaintexts (a two-time pad) and containers replayable
-// across connections. With it, each (connection, direction) is an
+// hello — status kHello, body = a kConnSaltBytes random salt followed by one
+// byte advertising the compression methods the server can open (bit i =
+// compress::Method tag i; see kHelloBodyBytes/parse_hello_body). Each side
+// then derives its Session pair with a context of direction label plus that
+// salt (c2s_context/s2c_context below): the client seals requests under c2s
+// and opens responses under s2c, the server mirrors it. Without the salt
+// every connection (and both directions of one connection) would derive
+// identical keys with nonce counters starting at 0 — the same per-nonce
+// keystream protecting different plaintexts (a two-time pad) and containers
+// replayable across connections. With it, each (connection, direction) is an
 // independent cipher and a container from any other scope fails its MAC.
+//
+// Compression negotiation is one-way and advisory: sealed-v2 containers are
+// self-describing (the header carries the method tag, MAC'd), so each opener
+// decodes whatever arrives without pre-agreement. The hello mask only tells
+// the client which methods it may USE on requests; a client receiving a
+// legacy salt-only hello treats the mask as 0 (raw). The server's own
+// response compression is a ServerConfig knob, not negotiated per
+// connection.
 //
 // Ops:      kSeal  — body is a raw message; the response body is the sealed
 //                    authenticated v2 container (the server's per-connection
@@ -49,6 +59,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
@@ -77,6 +88,29 @@ inline constexpr std::size_t kMaxFrameDefault = std::size_t{1} << 20;  // 1 MiB
 
 /// Size of the random per-connection salt the server's hello carries.
 inline constexpr std::size_t kConnSaltBytes = 16;
+
+/// Hello body layout: the salt, then one supported-compression-methods mask
+/// byte (bit i set = the server opens compress::Method tag i on requests).
+inline constexpr std::size_t kHelloBodyBytes = kConnSaltBytes + 1;
+
+/// Split view of a hello body. `methods` is the advertised mask, 0 (raw
+/// only) when the body is a legacy bare salt.
+struct HelloInfo {
+  std::span<const std::uint8_t> salt;
+  std::uint8_t methods = 0;
+};
+
+/// Parse a hello frame's body; std::invalid_argument when it cannot even
+/// carry the salt.
+inline HelloInfo parse_hello_body(std::span<const std::uint8_t> body) {
+  if (body.size() < kConnSaltBytes) {
+    throw std::invalid_argument("protocol: hello body shorter than the salt");
+  }
+  HelloInfo info;
+  info.salt = body.first(kConnSaltBytes);
+  if (body.size() > kConnSaltBytes) info.methods = body[kConnSaltBytes];
+  return info;
+}
 
 /// KDF contexts of the two directions on a connection with `salt` (the hello
 /// body): label || salt, fed to crypto::Session::from_master by both sides.

@@ -41,7 +41,7 @@ constexpr std::size_t kMaxPendingPerConn = 32;
 struct Server::Conn {
   Conn(int fd_in, std::span<const std::uint8_t> master,
        std::span<const std::uint8_t> salt, int n_pairs, int shards,
-       std::size_t max_frame)
+       std::size_t max_frame, compress::Method compression)
       : fd(fd_in),
         parser(max_frame),
         // Outbound seals responses (s2c), inbound opens client containers
@@ -56,7 +56,11 @@ struct Server::Conn {
         inbound(crypto::Session::from_master(master, c2s_context(salt), n_pairs,
                                              core::BlockParams::hardware(), shards)),
         last_activity(Clock::now()),
-        write_since(last_activity) {}
+        write_since(last_activity) {
+    // Only the outbound direction compresses what we send; inbound opens are
+    // method-agnostic (sealed-v2 containers self-describe).
+    outbound.set_compression(compression);
+  }
 
   int fd;
   FrameParser parser;
@@ -230,7 +234,8 @@ void Server::handle_accept() {
       continue;
     }
     auto conn = std::make_shared<Conn>(fd, cfg_.master, salt, cfg_.n_pairs,
-                                       cfg_.shards, cfg_.max_frame_bytes);
+                                       cfg_.shards, cfg_.max_frame_bytes,
+                                       cfg_.compression);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -241,8 +246,12 @@ void Server::handle_accept() {
     conns_.emplace(fd, conn);
     accepted_.fetch_add(1);
     // The hello MUST be the first frame out: the client cannot derive its
-    // session pair (and so cannot seal a request) until it has the salt.
-    queue_response(conn, Status::kHello, salt);
+    // session pair (and so cannot seal a request) until it has the salt. The
+    // trailing mask byte advertises every method this build opens.
+    std::array<std::uint8_t, kHelloBodyBytes> hello;
+    std::copy(salt.begin(), salt.end(), hello.begin());
+    hello[kConnSaltBytes] = compress::kMethodMaskAll;
+    queue_response(conn, Status::kHello, hello);
   }
 }
 

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/compress/compress.hpp"
 #include "src/server/protocol.hpp"
 
 namespace mhhea::server {
@@ -68,6 +69,11 @@ struct ServerConfig {
   /// Frame length cap; larger prefixes get kTooLarge and the connection is
   /// closed without buffering the body.
   std::size_t max_frame_bytes = kMaxFrameDefault;
+  /// Compression method for the daemon's outbound (response) seals —
+  /// compress-then-encrypt with automatic fallback, so `lzss`/`huffman`
+  /// never produce a larger frame than `raw`. Opening is method-agnostic
+  /// regardless: clients may use any method the hello mask advertises.
+  compress::Method compression = compress::Method::raw;
 };
 
 /// Monotonic counters, readable while the server runs.

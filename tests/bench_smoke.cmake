@@ -29,17 +29,20 @@ string(JSON host_avx2 GET "${doc}" host cpu_avx2)
 if(NOT host_backend MATCHES "^(scalar|avx2)$")
   message(FATAL_ERROR "bench_smoke: host.backend is \"${host_backend}\", expected scalar or avx2")
 endif()
-# 5 ciphers x 3 sizes x 4 dir/api cells at threads=1 shards=1.
-if(n_results LESS 60)
-  message(FATAL_ERROR "bench_smoke: expected >= 60 result cells, got ${n_results}")
+# 6 ciphers x 3 sizes x 4 dir/api cells at threads=1 shards=1 on the random
+# corpus, plus the text-corpus sequential encrypt/decrypt columns.
+if(n_results LESS 72)
+  message(FATAL_ERROR "bench_smoke: expected >= 72 result cells, got ${n_results}")
 endif()
 
 set(seen "")
+set(corpora "")
 math(EXPR last "${n_results} - 1")
 foreach(i RANGE ${last})
   string(JSON cipher GET "${doc}" results ${i} cipher)
   string(JSON mbps GET "${doc}" results ${i} mb_per_s_mean)
   string(JSON expansion GET "${doc}" results ${i} expansion)
+  string(JSON corpus GET "${doc}" results ${i} corpus)
   string(JSON row_backend GET "${doc}" results ${i} backend)
   if(NOT row_backend STREQUAL host_backend)
     message(FATAL_ERROR "bench_smoke: cell ${i} backend \"${row_backend}\" != host \"${host_backend}\"")
@@ -50,12 +53,21 @@ foreach(i RANGE ${last})
   if(NOT expansion GREATER 0)
     message(FATAL_ERROR "bench_smoke: ${cipher} cell ${i} has non-positive expansion")
   endif()
+  if(NOT corpus MATCHES "^(random|text)$")
+    message(FATAL_ERROR "bench_smoke: cell ${i} corpus is \"${corpus}\", expected random or text")
+  endif()
   list(APPEND seen "${cipher}")
+  list(APPEND corpora "${corpus}")
 endforeach()
 
-foreach(want MHHEA MHHEA-sealed MHHEA-sealed-v2 HHEA YAEA-S)
+foreach(want MHHEA MHHEA-sealed MHHEA-sealed-v2 MHHEA-sealed-v2-z HHEA YAEA-S)
   if(NOT "${want}" IN_LIST seen)
     message(FATAL_ERROR "bench_smoke: registry cipher ${want} missing from results")
+  endif()
+endforeach()
+foreach(want random text)
+  if(NOT "${want}" IN_LIST corpora)
+    message(FATAL_ERROR "bench_smoke: corpus ${want} missing from results")
   endif()
 endforeach()
 
@@ -70,7 +82,7 @@ endif()
 if(NOT shard_clamped STREQUAL "ON" AND NOT shard_clamped STREQUAL "true")
   message(FATAL_ERROR "bench_smoke: shard_speedup_clamped is \"${shard_clamped}\", expected true for a --shards 1 run")
 endif()
-foreach(want MHHEA MHHEA-sealed MHHEA-sealed-v2 HHEA YAEA-S)
+foreach(want MHHEA MHHEA-sealed MHHEA-sealed-v2 MHHEA-sealed-v2-z HHEA YAEA-S)
   string(JSON batch_ratio ERROR_VARIABLE jerr GET "${doc}" batch_speedup "${want}")
   if(jerr)
     message(FATAL_ERROR "bench_smoke: batch_speedup missing cipher ${want} (pre-fix bug: empty {} on clamped hosts)")
@@ -83,4 +95,25 @@ foreach(want MHHEA MHHEA-sealed MHHEA-sealed-v2 HHEA YAEA-S)
     message(FATAL_ERROR "bench_smoke: shard_speedup missing cipher ${want} on a clamped sweep")
   endif()
 endforeach()
+
+# The compression pre-stage aggregates: per cipher, per corpus, both keys
+# present and positive; the -z cipher's text expansion must actually beat
+# its random (fallback) expansion or the pre-stage did nothing end to end.
+foreach(want MHHEA-sealed-v2 MHHEA-sealed-v2-z)
+  foreach(corpus random text)
+    string(JSON exp_val ERROR_VARIABLE jerr3 GET "${doc}" expansion "${want}" "${corpus}")
+    if(jerr3 OR NOT exp_val GREATER 0)
+      message(FATAL_ERROR "bench_smoke: expansion[${want}][${corpus}] missing or non-positive (${exp_val})")
+    endif()
+    string(JSON wire_val ERROR_VARIABLE jerr4 GET "${doc}" effective_wire_mb_per_s "${want}" "${corpus}")
+    if(jerr4 OR NOT wire_val GREATER 0)
+      message(FATAL_ERROR "bench_smoke: effective_wire_mb_per_s[${want}][${corpus}] missing or non-positive (${wire_val})")
+    endif()
+  endforeach()
+endforeach()
+string(JSON z_text GET "${doc}" expansion MHHEA-sealed-v2-z text)
+string(JSON z_random GET "${doc}" expansion MHHEA-sealed-v2-z random)
+if(NOT z_text LESS z_random)
+  message(FATAL_ERROR "bench_smoke: -z text expansion ${z_text} not below its random expansion ${z_random}")
+endif()
 message(STATUS "bench_smoke: ${n_results} cells OK")

@@ -1,0 +1,405 @@
+// Compression pre-stage: engine round trips (randomized sizes, both
+// corpora, every method), stream corruption rejection, the envelope path
+// through the sealed-v2 cipher (methods x shard counts, fallback pinning,
+// post-MAC method checks), and the negotiated Session pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/compress/compress.hpp"
+#include "src/core/frame.hpp"
+#include "src/core/key.hpp"
+#include "src/core/params.hpp"
+#include "src/crypto/mac.hpp"
+#include "src/crypto/mhhea_cipher.hpp"
+#include "src/crypto/registry.hpp"
+#include "src/crypto/session.hpp"
+#include "src/util/rng.hpp"
+
+namespace mhhea::compress {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+/// Synthetic log lines: the compressible corpus the pre-stage targets.
+std::vector<std::uint8_t> text_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const std::string line = "level=INFO msg=\"request sealed\" conn=" +
+                             std::to_string(rng.below(1024)) +
+                             " latency_us=" + std::to_string(rng.below(10000)) +
+                             " status=ok\n";
+    out.insert(out.end(), line.begin(), line.end());
+  }
+  out.resize(n);
+  return out;
+}
+
+constexpr Method kAllMethods[] = {Method::raw, Method::lzss, Method::huffman};
+
+TEST(CompressNames, RoundTripAndRejection) {
+  for (Method m : kAllMethods) {
+    EXPECT_EQ(method_from_name(method_name(m)), m);
+  }
+  EXPECT_EQ(method_name(Method::raw), std::string("raw"));
+  EXPECT_EQ(method_name(Method::lzss), std::string("lzss"));
+  EXPECT_EQ(method_name(Method::huffman), std::string("huffman"));
+  EXPECT_THROW((void)method_from_name("deflate"), std::invalid_argument);
+  EXPECT_THROW((void)method_from_name(""), std::invalid_argument);
+  EXPECT_TRUE(method_known(0));
+  EXPECT_TRUE(method_known(2));
+  EXPECT_FALSE(method_known(3));
+  EXPECT_FALSE(method_known(0xFF));
+}
+
+TEST(CompressVarint, EdgeValues) {
+  const std::uint64_t values[] = {0,     1,        127,        128,
+                                  16383, 16384,    0xFFFFFFFF, std::uint64_t{1} << 63,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) {
+    std::uint8_t buf[10];
+    const std::size_t n = varint_encode(v, buf);
+    EXPECT_EQ(n, varint_size(v)) << v;
+    std::uint64_t back = 0;
+    EXPECT_EQ(varint_decode(std::span<const std::uint8_t>(buf, n), &back), n) << v;
+    EXPECT_EQ(back, v);
+    // Truncating any encoding by one byte must be detected.
+    std::uint64_t junk = 0;
+    EXPECT_THROW((void)varint_decode(std::span<const std::uint8_t>(buf, n - 1), &junk),
+                 std::invalid_argument)
+        << v;
+  }
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  std::uint8_t tiny[1];
+  EXPECT_THROW((void)varint_encode(128, tiny), std::length_error);
+}
+
+TEST(CompressProbe, SeparatesTextFromRandom) {
+  EXPECT_TRUE(probably_compressible(text_bytes(4096, 1)));
+  EXPECT_FALSE(probably_compressible(random_bytes(4096, 2)));
+}
+
+TEST(CompressEngines, RandomizedRoundTrip) {
+  util::Xoshiro256 size_rng(0xC0DEC);
+  for (Method m : kAllMethods) {
+    auto comp = make_compressor(m);
+    ASSERT_EQ(comp->method(), m);
+    for (int iter = 0; iter < 24; ++iter) {
+      // Edge sizes first, then a random sweep of 0..20000.
+      const std::size_t n =
+          iter < 4 ? static_cast<std::size_t>(iter)
+                   : static_cast<std::size_t>(size_rng.below(20001));
+      for (int corpus = 0; corpus < 2; ++corpus) {
+        const auto in = corpus == 0 ? random_bytes(n, 0x5EED + iter)
+                                    : text_bytes(n, 0x5EED + iter);
+        const std::size_t exact = comp->compressed_size(in);
+        ASSERT_LE(exact, comp->max_compressed_size(n))
+            << method_name(m) << " n=" << n << " corpus=" << corpus;
+        std::vector<std::uint8_t> stream(exact);
+        // The counting pass and the emitting pass must agree exactly — a
+        // buffer sized by compressed_size leaves no slack.
+        ASSERT_EQ(comp->compress_into(in, stream), exact)
+            << method_name(m) << " n=" << n << " corpus=" << corpus;
+        ASSERT_LE(n, comp->max_decoded_size(stream.size()));
+        std::vector<std::uint8_t> back(n);
+        ASSERT_EQ(comp->decompress_into(stream, n, back), n);
+        EXPECT_EQ(back, in) << method_name(m) << " n=" << n << " corpus=" << corpus;
+      }
+    }
+  }
+}
+
+TEST(CompressEngines, TextCorpusActuallyShrinks) {
+  const auto in = text_bytes(16384, 0xBEEF);
+  // LZSS exploits the repeated line structure; order-0 Huffman only the
+  // byte skew (text entropy ~4.7 bits/byte), hence the looser bound.
+  EXPECT_LT(make_compressor(Method::lzss)->compressed_size(in), in.size() / 2);
+  EXPECT_LT(make_compressor(Method::huffman)->compressed_size(in), in.size() * 3 / 4);
+}
+
+TEST(CompressEngines, ShortOutputBufferIsLengthError) {
+  const auto in = text_bytes(1024, 7);
+  for (Method m : kAllMethods) {
+    auto comp = make_compressor(m);
+    const std::size_t exact = comp->compressed_size(in);
+    std::vector<std::uint8_t> small(exact - 1);
+    try {
+      (void)comp->compress_into(in, small);
+      FAIL() << method_name(m) << ": short buffer accepted";
+    } catch (const std::length_error& e) {
+      EXPECT_NE(std::string(e.what()).find("output buffer too small"),
+                std::string::npos)
+          << method_name(m);
+    }
+    std::vector<std::uint8_t> stream(exact);
+    (void)comp->compress_into(in, stream);
+    std::vector<std::uint8_t> out(in.size() - 1);
+    EXPECT_THROW((void)comp->decompress_into(stream, in.size(), out),
+                 std::length_error)
+        << method_name(m);
+  }
+}
+
+TEST(CompressEngines, TruncatedOrPaddedStreamsAreRejected) {
+  const auto in = text_bytes(4096, 99);
+  for (Method m : {Method::lzss, Method::huffman}) {
+    auto comp = make_compressor(m);
+    std::vector<std::uint8_t> stream(comp->compressed_size(in));
+    (void)comp->compress_into(in, stream);
+    std::vector<std::uint8_t> out(in.size());
+    // Every truncation prefix of the first/last 32 boundaries must fail to
+    // decode to the declared size.
+    for (std::size_t cut = 1; cut <= 32 && cut < stream.size(); ++cut) {
+      const std::span<const std::uint8_t> head(stream.data(), stream.size() - cut);
+      EXPECT_THROW((void)comp->decompress_into(head, in.size(), out),
+                   std::invalid_argument)
+          << method_name(m) << " cut=" << cut;
+    }
+    // Appending trailing bytes must be rejected too — a stream decodes to
+    // its declared size exactly or not at all.
+    auto padded = stream;
+    padded.push_back(0x00);
+    EXPECT_THROW((void)comp->decompress_into(padded, in.size(), out),
+                 std::invalid_argument)
+        << method_name(m);
+    // A declared size the stream cannot produce.
+    EXPECT_THROW((void)comp->decompress_into(stream, in.size() - 1,
+                                             std::span(out.data(), in.size() - 1)),
+                 std::invalid_argument)
+        << method_name(m);
+  }
+}
+
+TEST(CompressEngines, HuffmanSkewedFrequenciesStayWithinDepthLimit) {
+  // Fibonacci-weighted symbol frequencies build the deepest possible
+  // Huffman trees — the input shape the 15-bit zlib-style length limiting
+  // exists for. Round-tripping proves the repaired code is still prefix-
+  // complete and canonical on both sides.
+  std::vector<std::uint8_t> in;
+  std::uint64_t a = 1;
+  std::uint64_t b = 1;
+  for (int sym = 0; sym < 24; ++sym) {
+    for (std::uint64_t i = 0; i < a && in.size() < 60000; ++i) {
+      in.push_back(static_cast<std::uint8_t>(sym));
+    }
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  auto comp = make_compressor(Method::huffman);
+  std::vector<std::uint8_t> stream(comp->compressed_size(in));
+  ASSERT_EQ(comp->compress_into(in, stream), stream.size());
+  std::vector<std::uint8_t> back(in.size());
+  ASSERT_EQ(comp->decompress_into(stream, in.size(), back), in.size());
+  EXPECT_EQ(back, in);
+}
+
+// --- the envelope through the sealed-v2 cipher -----------------------------
+
+crypto::MhheaCipher make_v2_cipher(int shards = 1) {
+  util::Xoshiro256 rng(0x11d7);
+  const auto params = core::BlockParams::hardware();
+  core::Key key = core::Key::random(rng, 8, params);
+  return crypto::MhheaCipher(std::move(key), 0xACE1, params,
+                             crypto::MhheaCipher::Framing::sealed_v2, shards);
+}
+
+TEST(CompressedSealedV2, EveryMethodRoundTripsAcrossShardCounts) {
+  for (Method m : kAllMethods) {
+    for (int shards : {1, 2, 4, 8}) {
+      auto cipher = make_v2_cipher(shards);
+      cipher.set_compression(m);
+      util::Xoshiro256 size_rng(0xA11CE + static_cast<std::uint64_t>(shards));
+      for (int iter = 0; iter < 6; ++iter) {
+        const std::size_t n = static_cast<std::size_t>(size_rng.below(20001));
+        const auto msg = text_bytes(n, 0xF00D + iter);
+        const auto sealed = cipher.encrypt(msg);
+        EXPECT_EQ(cipher.decrypt(sealed, msg.size()), msg)
+            << method_name(m) << " shards=" << shards << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(CompressedSealedV2, ShardCountDoesNotChangeTheFrame) {
+  const auto msg = text_bytes(20000, 0xD15C);
+  auto base = make_v2_cipher(1);
+  base.set_compression(Method::lzss);
+  const auto expect = base.encrypt(msg);
+  for (int shards : {2, 4, 8}) {
+    auto cipher = make_v2_cipher(shards);
+    cipher.set_compression(Method::lzss);
+    EXPECT_EQ(cipher.encrypt(msg), expect) << "shards=" << shards;
+  }
+}
+
+TEST(CompressedSealedV2, CompressibleFrameIsSmallerAndTagged) {
+  auto plain = make_v2_cipher();
+  auto z = make_v2_cipher();
+  z.set_compression(Method::lzss);
+  const auto msg = text_bytes(8192, 0x7E57);
+  const auto raw_ct = plain.encrypt(msg);
+  const auto z_ct = z.encrypt(msg);
+  EXPECT_LT(z_ct.size(), raw_ct.size() / 2);
+  const core::FrameHeader h = core::frame_decode(z_ct, nullptr);
+  EXPECT_EQ(h.compression, static_cast<std::uint8_t>(Method::lzss));
+  EXPECT_EQ(z_ct[5] & 0x08, 0x08);
+}
+
+TEST(CompressedSealedV2, IncompressibleMessagesFallBackByteIdentically) {
+  // Random payloads must ship the exact uncompressed frame — same bytes,
+  // same ciphertext_size, no compressed flag — through the instance API...
+  auto plain = make_v2_cipher();
+  auto z = make_v2_cipher();
+  z.set_compression(Method::lzss);
+  for (std::size_t n : {0u, 1u, 63u, 64u, 96u, 4096u}) {
+    const auto msg = random_bytes(n, 0xABBA + n);
+    const auto expect = plain.encrypt(msg);
+    const auto got = z.encrypt(msg);
+    EXPECT_EQ(got, expect) << "n=" << n;
+    EXPECT_EQ(z.ciphertext_size(n), got.size()) << "n=" << n;
+    if (!got.empty()) {
+      EXPECT_EQ(got[5] & 0x08, 0) << "n=" << n;
+    }
+  }
+  // ...and through the registry twins (same seed -> same key schedule).
+  const auto& reg = crypto::CipherRegistry::builtin();
+  auto reg_plain = reg.make("MHHEA-sealed-v2", 0xFEED123, 1);
+  auto reg_z = reg.make("MHHEA-sealed-v2-z", 0xFEED123, 1);
+  const auto msg = random_bytes(4096, 0x90210);
+  EXPECT_EQ(reg_z->encrypt(msg), reg_plain->encrypt(msg));
+}
+
+TEST(CompressedSealedV2, TamperedCompressedFrameFailsMacWithOutputUntouched) {
+  auto cipher = make_v2_cipher();
+  cipher.set_compression(Method::lzss);
+  const auto msg = text_bytes(2048, 0x7A39);
+  const auto sealed = cipher.encrypt(msg);
+  // Sample a bit in every region: header (incl. the method byte), envelope
+  // ciphertext, MAC trailer.
+  const std::size_t probe[] = {5, 6, core::FrameHeader::kSizeV2 + 3,
+                               sealed.size() / 2, sealed.size() - 1};
+  for (std::size_t byte : probe) {
+    auto t = sealed;
+    t[byte] ^= 0x10;
+    std::vector<std::uint8_t> out(msg.size(), 0xCD);
+    EXPECT_THROW((void)cipher.decrypt_into(t, msg.size(), out), std::invalid_argument)
+        << "byte " << byte;
+    EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                            [](std::uint8_t b) { return b == 0xCD; }))
+        << "byte " << byte << ": output written despite rejection";
+  }
+  // Truncations across every boundary: header, blocks, MAC.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{23}, std::size_t{24},
+                           sealed.size() - core::FrameHeader::kMacBytesV2,
+                           sealed.size() - 1}) {
+    std::vector<std::uint8_t> t(sealed.begin(),
+                                sealed.begin() + static_cast<std::ptrdiff_t>(keep));
+    std::vector<std::uint8_t> out(msg.size(), 0xCD);
+    EXPECT_THROW((void)cipher.decrypt_into(t, msg.size(), out), std::invalid_argument)
+        << "keep " << keep;
+  }
+}
+
+TEST(CompressedSealedV2, PostMacMethodChecksRejectForgedHeaders) {
+  // An honest sealer can never emit a method byte that disagrees with its
+  // envelope, so forge the condition by mutating the authenticated view
+  // directly — exactly what the post-MAC cross-checks exist to stop.
+  auto cipher = make_v2_cipher();
+  cipher.set_compression(Method::lzss);
+  const auto msg = text_bytes(2048, 0x51DE);
+  const auto sealed = cipher.encrypt(msg);
+  std::vector<std::uint8_t> out(msg.size());
+
+  auto opened = cipher.open_v2_authenticate(sealed);
+  ASSERT_EQ(opened.header.compression, static_cast<std::uint8_t>(Method::lzss));
+
+  // Unknown method tag: rejected before any decode.
+  opened.header.compression = 7;
+  EXPECT_THROW((void)cipher.decrypt_v2_payload(opened, out), std::invalid_argument);
+
+  // Known-but-wrong tag: the decrypted envelope's own tag wins.
+  opened.header.compression = static_cast<std::uint8_t>(Method::huffman);
+  EXPECT_THROW((void)cipher.decrypt_v2_payload(opened, out), std::invalid_argument);
+
+  // Restored view still opens — the rejections above were the checks, not
+  // collateral state damage.
+  opened.header.compression = static_cast<std::uint8_t>(Method::lzss);
+  ASSERT_EQ(cipher.decrypt_v2_payload(opened, out), msg.size());
+  EXPECT_EQ(out, msg);
+}
+
+TEST(CompressedSealedV2, FrameCodecCarriesTheMethodByte) {
+  // Structural acceptance of any nonzero method byte is deliberate: the
+  // codec cannot know future tags, so unknown methods pass the parse and
+  // are rejected post-MAC by the cipher (tested above).
+  core::FrameHeader h;
+  h.version = 2;
+  h.params = core::BlockParams::hardware();
+  h.message_bits = 0;
+  h.nonce = 9;
+  h.compression = 7;
+  // Header + an (unverified-here) all-zero MAC trailer: frame_decode is the
+  // keyless structural layer.
+  std::vector<std::uint8_t> buf(core::FrameHeader::kOverheadV2, 0);
+  core::frame_encode_header(h, buf);
+  EXPECT_EQ(buf[5] & 0x08, 0x08);
+  EXPECT_EQ(buf[6], 7);
+  const core::FrameHeader back = core::frame_decode(buf, nullptr);
+  EXPECT_EQ(back.compression, 7);
+  EXPECT_EQ(back.nonce, 9u);
+
+  // The flag bit and the method byte must agree both ways.
+  auto flag_only = buf;
+  flag_only[6] = 0;
+  EXPECT_THROW((void)core::frame_decode(flag_only, nullptr), std::invalid_argument);
+  auto byte_only = buf;
+  byte_only[5] &= static_cast<std::uint8_t>(~0x08);
+  EXPECT_THROW((void)core::frame_decode(byte_only, nullptr), std::invalid_argument);
+
+  // A v1 header cannot carry one.
+  h.version = 1;
+  h.nonce = 0;
+  EXPECT_THROW(core::frame_encode_header(h, buf), std::invalid_argument);
+}
+
+TEST(CompressedSealedV2, RawFramingRejectsTheKnob) {
+  util::Xoshiro256 rng(0x11d7);
+  const auto params = core::BlockParams::paper();
+  core::Key key = core::Key::random(rng, 8, params);
+  crypto::MhheaCipher cipher(std::move(key), 0xACE1, params,
+                             crypto::MhheaCipher::Framing::raw);
+  EXPECT_THROW(cipher.set_compression(Method::lzss), std::logic_error);
+}
+
+TEST(CompressedSession, NegotiatedMethodsInteroperate) {
+  const std::vector<std::uint8_t> master = random_bytes(32, 0x5E55);
+  const std::vector<std::uint8_t> ctx = {'t', 'e', 's', 't'};
+  for (Method m : kAllMethods) {
+    auto sender = crypto::Session::from_master(master, ctx);
+    auto receiver = crypto::Session::from_master(master, ctx);
+    sender.set_compression(m);
+    EXPECT_EQ(sender.compression(), m);
+    // The receiver is never told the method — the frames self-describe.
+    const auto msg = text_bytes(6000, 0x1234);
+    EXPECT_EQ(receiver.open(sender.seal(msg)), msg) << method_name(m);
+    const auto rnd = random_bytes(500, 0x4321);
+    EXPECT_EQ(receiver.open(sender.seal(rnd)), rnd) << method_name(m);
+  }
+}
+
+}  // namespace
+}  // namespace mhhea::compress

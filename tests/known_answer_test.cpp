@@ -103,6 +103,16 @@ std::vector<std::uint8_t> kat_encrypt(const KatFile& kat,
                                crypto::MhheaCipher::Framing::sealed_v2)
         .encrypt(msg);
   }
+  if (kat.algorithm == "sealed_v2_z") {
+    // The compression pre-stage over the same container: pins the envelope
+    // wire bytes (method tag, varint raw size, LZSS stream) AND the
+    // incompressible fallback (those cases are byte-identical to
+    // mhhea_sealed_v2 sealing).
+    crypto::MhheaCipher cipher(kat.key, kat.seed, kat.params,
+                               crypto::MhheaCipher::Framing::sealed_v2);
+    cipher.set_compression(compress::Method::lzss);
+    return cipher.encrypt(msg);
+  }
   return core::encrypt(msg, kat.key, kat.seed, kat.params);
 }
 
@@ -119,6 +129,12 @@ std::vector<std::uint8_t> kat_decrypt(const KatFile& kat,
         .decrypt(cipher, msg_bytes);
   }
   if (kat.algorithm == "sealed_v2") {
+    return crypto::MhheaCipher(kat.key, kat.seed, kat.params,
+                               crypto::MhheaCipher::Framing::sealed_v2)
+        .decrypt(cipher, msg_bytes);
+  }
+  if (kat.algorithm == "sealed_v2_z") {
+    // Opening is method-agnostic: no set_compression on the decrypt side.
     return crypto::MhheaCipher(kat.key, kat.seed, kat.params,
                                crypto::MhheaCipher::Framing::sealed_v2)
         .decrypt(cipher, msg_bytes);
@@ -148,6 +164,7 @@ TEST_P(KnownAnswer, DecryptMatchesFixture) {
 INSTANTIATE_TEST_SUITE_P(Fixtures, KnownAnswer,
                          ::testing::Values("mhhea_paper.kat", "mhhea_hardware.kat",
                                            "mhhea_sealed.kat", "mhhea_sealed_v2.kat",
+                                           "mhhea_sealed_v2_compressed.kat",
                                            "hhea_paper.kat", "yaea_s.kat"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            std::string name = info.param;

@@ -62,7 +62,9 @@ class Client {
         << std::strerror(errno);
     if (auto hello = read_response();
         hello.has_value() && status_of_tag(hello->tag) == Status::kHello) {
-      salt_ = std::move(hello->body);
+      const HelloInfo info = parse_hello_body(hello->body);
+      salt_.assign(info.salt.begin(), info.salt.end());
+      methods_ = info.methods;
     }
   }
   ~Client() {
@@ -105,6 +107,8 @@ class Client {
 
   /// The hello salt; this connection's sessions derive from it.
   [[nodiscard]] const std::vector<std::uint8_t>& salt() const { return salt_; }
+  /// The hello's advertised compression-method mask.
+  [[nodiscard]] std::uint8_t methods() const { return methods_; }
 
  private:
   static Status status_of_tag(std::uint8_t tag) { return static_cast<Status>(tag); }
@@ -112,6 +116,7 @@ class Client {
   int fd_ = -1;
   FrameParser parser_;
   std::vector<std::uint8_t> salt_;
+  std::uint8_t methods_ = 0;
 };
 
 Status status_of(const Frame& f) { return static_cast<Status>(f.tag); }
@@ -420,6 +425,50 @@ TEST(ServerHandshake, HelloCarriesUniquePerConnectionSalt) {
   // Random per connection: identical salts would put both connections in
   // the same nonce space (keystream reuse across connections).
   EXPECT_NE(a.salt(), b.salt());
+  // The hello also advertises every compression method the server opens.
+  EXPECT_EQ(a.methods(), compress::kMethodMaskAll);
+  server.stop();
+}
+
+TEST(ServerHandshake, CompressedResponsesOpenTransparently) {
+  // A daemon configured to compress its outbound seals: the client's
+  // inbound twin needs no configuration at all — sealed-v2 containers are
+  // self-describing — and a compressible response comes back smaller than
+  // the raw-sealed equivalent.
+  ServerConfig cfg = base_config();
+  cfg.compression = compress::Method::lzss;
+  Server server(cfg);
+  server.start();
+  Client client(server.port());
+
+  std::string text;
+  for (int i = 0; i < 64; ++i) {
+    text += "service log line " + std::to_string(i) + ": status=ok latency_us=42\n";
+  }
+  const auto msg = bytes_of(text);
+  client.send_request(Op::kSeal, msg);
+  auto sealed = client.read_response();
+  ASSERT_TRUE(sealed.has_value());
+  ASSERT_EQ(status_of(*sealed), Status::kOk);
+  crypto::Session my_inbound = client_inbound(client);
+  EXPECT_EQ(my_inbound.open(sealed->body), msg);
+
+  // The raw-configured server would have shipped ~5.3x the plaintext; the
+  // compressed frame must at least beat the uncompressed container size.
+  crypto::Session raw_twin =
+      crypto::Session::from_master(kMaster, s2c_context(client.salt()));
+  EXPECT_LT(sealed->body.size(), raw_twin.seal(msg).size());
+
+  // The client may also seal ITS requests compressed: the server's inbound
+  // session opens any advertised method without per-connection state.
+  crypto::Session my_outbound = client_outbound(client);
+  my_outbound.set_compression(compress::Method::huffman);
+  const auto container = my_outbound.seal(msg);
+  client.send_request(Op::kOpen, container);
+  auto opened = client.read_response();
+  ASSERT_TRUE(opened.has_value());
+  ASSERT_EQ(status_of(*opened), Status::kOk);
+  EXPECT_EQ(opened->body, msg);
   server.stop();
 }
 

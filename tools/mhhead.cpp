@@ -14,6 +14,9 @@
 //   --max-conns N       live connection cap (default 1024)
 //   --timeout-ms N      slow-loris/partial-frame timeout (default 5000)
 //   --max-frame BYTES   frame length cap (default 1 MiB)
+//   --compress METHOD   compress outbound (response) seals: raw|lzss|huffman
+//                       (default raw; falls back per message, never grows a
+//                       frame — opening always accepts every method)
 //
 // The daemon serves until SIGINT/SIGTERM, then drains in-flight requests
 // and exits 0. "READY" plus the endpoint is printed once the socket is
@@ -41,7 +44,8 @@ void on_signal(int) { g_stop.release(); }
   std::cerr << "mhhead: " << msg
             << "\nusage: mhhead (--uds PATH | --tcp PORT) --master HEX"
                " [--shards N] [--max-inflight N] [--max-conns N]"
-               " [--timeout-ms N] [--max-frame BYTES]\n";
+               " [--timeout-ms N] [--max-frame BYTES]"
+               " [--compress raw|lzss|huffman]\n";
   std::exit(2);
 }
 
@@ -90,6 +94,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-frame") {
       cfg.max_frame_bytes =
           static_cast<std::size_t>(parse_long("--max-frame", need_value("--max-frame")));
+    } else if (arg == "--compress") {
+      try {
+        cfg.compression = mhhea::compress::method_from_name(need_value("--compress"));
+      } catch (const std::invalid_argument& e) {
+        usage_error(std::string("--compress: ") + e.what());
+      }
     } else {
       usage_error("unknown flag " + arg);
     }
